@@ -1,0 +1,39 @@
+/// \file bench_common.h
+/// Shared boilerplate for the experiment binaries: standard-case parameter
+/// construction, headers, and PASS/FAIL verdict lines. Every binary accepts
+/// --key=value overrides (see each main() for its knobs).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/params.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace manhattan::bench {
+
+/// Print the experiment banner (id + which paper artifact it regenerates).
+inline void banner(const std::string& experiment_id, const std::string& artifact) {
+    std::printf("## %s — %s\n\n", experiment_id.c_str(), artifact.c_str());
+}
+
+/// Print a verdict line summarising whether the paper's qualitative shape
+/// held. These are the lines EXPERIMENTS.md records.
+inline void verdict(bool pass, const std::string& criterion) {
+    std::printf("\n**%s** — %s\n\n", pass ? "PASS" : "FAIL", criterion.c_str());
+}
+
+/// Standard case of the paper: L = sqrt(n), R = c1 sqrt(ln n).
+inline core::net_params standard_params(std::size_t n, double c1, double speed) {
+    const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
+    return core::net_params::standard_case(n, radius, speed);
+}
+
+/// The paper's slow-mobility default speed for a given radius (Ineq. 8).
+inline double default_speed(double radius) {
+    return core::paper::speed_bound(radius);
+}
+
+}  // namespace manhattan::bench

@@ -1,0 +1,67 @@
+// BASE — baseline mobility comparison, the contrast motivating the paper: at
+// identical (n, L, R, v), flooding under MRWP (non-uniform stationary law)
+// vs the uniform-class models (random_walk, random_direction) and classic
+// RWP, seeded from the center and from the corner. The paper's message: the
+// sparse MRWP suburb does NOT blow up flooding time relative to the uniform
+// models, despite operating exponentially below its connectivity threshold.
+//
+// Knobs: --n=16000 --c1=3 --seeds=3 --seed=1
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/scenario.h"
+#include "stats/summary.h"
+
+using namespace manhattan;
+
+int main(int argc, char** argv) {
+    const util::cli_args args(argc, argv);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 16'000));
+    const double c1 = args.get_double("c1", 3.0);
+    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+    const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    bench::banner("BASE", "flooding time across mobility models (center vs corner source)");
+
+    const std::pair<mobility::model_kind, const char*> models[] = {
+        {mobility::model_kind::mrwp, "mrwp"},
+        {mobility::model_kind::rwp, "rwp"},
+        {mobility::model_kind::random_walk, "random_walk"},
+        {mobility::model_kind::random_direction, "random_direction"},
+    };
+
+    util::table t({"model", "source", "mean T", "sd", "max T"});
+    double mrwp_corner = 0.0;
+    double uniform_best = 1e18;
+    for (const auto& [kind, name] : models) {
+        for (const auto placement :
+             {core::source_placement::center_most, core::source_placement::corner_most}) {
+            core::scenario sc;
+            sc.params = bench::standard_params(n, c1, 0.0);
+            sc.params.speed = bench::default_speed(sc.params.radius);
+            sc.model = kind;
+            sc.source = placement;
+            sc.seed = seed0;
+            sc.max_steps = 500'000;
+            const auto s = stats::summarize(core::flooding_times(sc, seeds));
+            const bool corner = placement == core::source_placement::corner_most;
+            if (kind == mobility::model_kind::mrwp && corner) {
+                mrwp_corner = s.mean;
+            }
+            if (kind != mobility::model_kind::mrwp &&
+                kind != mobility::model_kind::rwp && corner) {
+                uniform_best = std::min(uniform_best, s.mean);
+            }
+            t.add_row({name, corner ? "corner" : "center", util::fmt(s.mean),
+                       util::fmt(s.stddev), util::fmt(s.max)});
+        }
+    }
+    std::printf("%s", t.markdown().c_str());
+    // "Flooding over the suburb can be as fast as over the central zone":
+    // MRWP's corner-seeded time stays within a small factor of the best
+    // uniform-stationary model's.
+    bench::verdict(mrwp_corner <= 3.0 * uniform_best + 10.0,
+                   "corner-seeded MRWP flooding within a small constant of the uniform-"
+                   "stationary baselines (the paper's 'suburb is not a bottleneck')");
+    return 0;
+}

@@ -1,0 +1,69 @@
+// L13 — Lemma 13: the number of direction changes an agent performs in a
+// window of tau time units is at most 4 ln n / ln(L/(v tau)) w.h.p., for
+// L/(nv) <= tau <= L/(4v). We sweep the window length and report the maximal
+// observed turn count across agents and windows against the bound.
+//
+// Knobs: --n=10000 --agents=2000 --rounds=8 --seed=1
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "mobility/mrwp.h"
+#include "mobility/walker.h"
+
+using namespace manhattan;
+
+int main(int argc, char** argv) {
+    const util::cli_args args(argc, argv);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 10'000));
+    const auto agents = static_cast<std::size_t>(args.get_int("agents", 2000));
+    const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 8));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    bench::banner("L13", "Lemma 13: turn count per window vs 4 ln n / ln(L/(v tau))");
+
+    const double side = std::sqrt(static_cast<double>(n));
+    const double speed = 1.0;
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    mobility::walker w(model, agents, speed, rng::rng{seed});
+
+    util::table t({"tau (x L/v)", "window steps", "bound", "max turns", "mean turns",
+                   "violations / windows", "ok"});
+    bool all_ok = true;
+    for (const double frac : {1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0}) {
+        const double tau = frac * side / speed;
+        const auto window = static_cast<std::size_t>(tau);
+        const double bound = core::paper::turn_bound(side, speed, tau, n);
+
+        std::vector<std::uint64_t> before(w.turn_counts().begin(), w.turn_counts().end());
+        std::uint64_t max_turns = 0;
+        double sum_turns = 0.0;
+        std::size_t violations = 0;
+        std::size_t windows = 0;
+        for (std::size_t round = 0; round < rounds; ++round) {
+            for (std::size_t s = 0; s < window; ++s) {
+                w.step();
+            }
+            const auto after = w.turn_counts();
+            for (std::size_t i = 0; i < agents; ++i) {
+                const std::uint64_t turns = after[i] - before[i];
+                max_turns = std::max(max_turns, turns);
+                sum_turns += static_cast<double>(turns);
+                violations += static_cast<double>(turns) > bound ? 1 : 0;
+                before[i] = after[i];
+                ++windows;
+            }
+        }
+        // w.h.p. bound: tolerate a vanishing violation rate (< 0.1%).
+        const bool ok =
+            static_cast<double>(violations) <= 0.001 * static_cast<double>(windows);
+        all_ok = all_ok && ok;
+        t.add_row({util::fmt(frac), util::fmt(window), util::fmt(bound),
+                   util::fmt(static_cast<long long>(max_turns)),
+                   util::fmt(sum_turns / static_cast<double>(windows)),
+                   util::fmt(violations) + " / " + util::fmt(windows), util::fmt_bool(ok)});
+    }
+    std::printf("%s", t.markdown().c_str());
+    bench::verdict(all_ok, "turn counts stay within the Lemma 13 envelope (w.h.p. rate)");
+    return 0;
+}

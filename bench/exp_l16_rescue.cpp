@@ -1,0 +1,74 @@
+// L16 — Lemma 16's rescue property: every agent in the (extended) Suburb
+// meets, within tau = 590 S / v time, an agent coming from the Central Zone
+// (meeting = within (3/4) R). We measure the full distribution of
+// first-meeting times for suburb residents and compare the maximum to tau.
+//
+// Knobs: --n=50000 --c1=2 --seeds=2 --seed=1
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/meetings.h"
+#include "mobility/mrwp.h"
+#include "mobility/walker.h"
+#include "stats/summary.h"
+
+using namespace manhattan;
+
+int main(int argc, char** argv) {
+    const util::cli_args args(argc, argv);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 50'000));
+    const double c1 = args.get_double("c1", 2.0);
+    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 2));
+    const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    bench::banner("L16", "Lemma 16: suburb agents meet Central-Zone agents within 590 S/v");
+
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
+    const double speed = bench::default_speed(radius);
+    const core::cell_partition cells(n, side, radius);
+    const double tau =
+        core::paper::suburb_rescue_window(cells.suburb_diameter(), speed);
+
+    util::table t({"seed", "suburb agents", "all met", "median meet", "p75", "max meet",
+                   "tau = 590 S/v", "max/tau", "ok"});
+    bool all_ok = true;
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    for (std::size_t rep = 0; rep < seeds; ++rep) {
+        mobility::walker w(model, n, speed, rng::rng{seed0 + rep});
+        core::rescue_config cfg;
+        cfg.meeting_radius = core::paper::meeting_radius(radius);
+        cfg.max_steps = static_cast<std::uint64_t>(tau) + 1000;
+        const auto result = core::measure_suburb_rescue(w, cells, cfg);
+
+        std::vector<double> times;
+        for (const auto at : result.met_at) {
+            if (at != core::never_met) {
+                times.push_back(static_cast<double>(at));
+            }
+        }
+        const bool ok = result.all_met && !times.empty() &&
+                        stats::summarize(times).max <= tau;
+        all_ok = all_ok && ok;
+        if (times.empty()) {
+            t.add_row({util::fmt(seed0 + rep), "0", "yes", "-", "-", "-", util::fmt(tau),
+                       "-", util::fmt_bool(result.all_met)});
+            continue;
+        }
+        const auto s = stats::summarize(times);
+        t.add_row({util::fmt(seed0 + rep), util::fmt(result.watched.size()),
+                   util::fmt_bool(result.all_met), util::fmt(s.median), util::fmt(s.p75),
+                   util::fmt(s.max), util::fmt(tau), util::fmt(s.max / tau),
+                   util::fmt_bool(ok)});
+    }
+    std::printf("%s", t.markdown().c_str());
+    std::printf("\n(suburb: %zu cells; S = %s; meeting radius (3/4)R = %s)\n",
+                cells.suburb_cell_count(), util::fmt(cells.suburb_diameter()).c_str(),
+                util::fmt(core::paper::meeting_radius(radius)).c_str());
+    bench::verdict(all_ok,
+                   "every suburb resident meets a Central-Zone resident well inside the "
+                   "Lemma 16 window");
+    return 0;
+}

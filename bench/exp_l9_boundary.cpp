@@ -1,0 +1,161 @@
+// L9 — Lemma 9's boundary expansion: for every subset B of the Central Zone,
+// |dB| >= sqrt(min(|B|, |CZ|-|B|)). We attack the inequality with adversarial
+// families (compact blocks minimise perimeter) and random subsets, reporting
+// the minimal ratio per family.
+//
+// Knobs: --n=20000 --c1=3 --trials=2000 --seed=1
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cell_partition.h"
+#include "rng/rng.h"
+
+using namespace manhattan;
+
+namespace {
+
+using mask_t = std::vector<std::uint8_t>;
+
+double min_ratio_random(const core::cell_partition& cp, std::size_t trials,
+                        std::uint64_t seed) {
+    rng::rng gen(seed);
+    std::vector<std::size_t> central;
+    for (std::size_t id = 0; id < cp.grid().cell_count(); ++id) {
+        if (cp.zone_of_cell(id) == core::zone::central) {
+            central.push_back(id);
+        }
+    }
+    double worst = std::numeric_limits<double>::infinity();
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+        mask_t mask(cp.grid().cell_count(), 0);
+        const double p = gen.uniform(0.02, 0.98);
+        std::size_t count = 0;
+        for (const std::size_t id : central) {
+            if (gen.bernoulli(p)) {
+                mask[id] = 1;
+                ++count;
+            }
+        }
+        if (count == 0 || count == central.size()) {
+            continue;
+        }
+        worst = std::min(worst, cp.expansion_ratio(mask));
+    }
+    return worst;
+}
+
+double min_ratio_blocks(const core::cell_partition& cp) {
+    const auto m = cp.grid().cells_per_side();
+    double worst = std::numeric_limits<double>::infinity();
+    for (std::int32_t block = 1; block <= m; ++block) {
+        for (const std::int32_t anchor : {std::int32_t{0}, m / 4, m / 2 - block / 2}) {
+            mask_t mask(cp.grid().cell_count(), 0);
+            std::size_t count = 0;
+            for (std::int32_t cy = anchor; cy < std::min(m, anchor + block); ++cy) {
+                for (std::int32_t cx = anchor; cx < std::min(m, anchor + block); ++cx) {
+                    const std::size_t id = cp.grid().id_of({cx, cy});
+                    if (cp.zone_of_cell(id) == core::zone::central) {
+                        mask[id] = 1;
+                        ++count;
+                    }
+                }
+            }
+            if (count == 0 || count == cp.central_cell_count()) {
+                continue;
+            }
+            worst = std::min(worst, cp.expansion_ratio(mask));
+        }
+    }
+    return worst;
+}
+
+double min_ratio_bands(const core::cell_partition& cp) {
+    // Horizontal prefixes of rows — the configurations the proof's case
+    // analysis ("black rows") wrestles with.
+    const auto m = cp.grid().cells_per_side();
+    double worst = std::numeric_limits<double>::infinity();
+    for (std::int32_t rows = 1; rows < m; ++rows) {
+        mask_t mask(cp.grid().cell_count(), 0);
+        std::size_t count = 0;
+        for (std::int32_t cy = 0; cy < rows; ++cy) {
+            for (std::int32_t cx = 0; cx < m; ++cx) {
+                const std::size_t id = cp.grid().id_of({cx, cy});
+                if (cp.zone_of_cell(id) == core::zone::central) {
+                    mask[id] = 1;
+                    ++count;
+                }
+            }
+        }
+        if (count == 0 || count == cp.central_cell_count()) {
+            continue;
+        }
+        worst = std::min(worst, cp.expansion_ratio(mask));
+    }
+    return worst;
+}
+
+double min_ratio_checkerboard(const core::cell_partition& cp) {
+    const auto m = cp.grid().cells_per_side();
+    double worst = std::numeric_limits<double>::infinity();
+    for (const int parity : {0, 1}) {
+        mask_t mask(cp.grid().cell_count(), 0);
+        std::size_t count = 0;
+        for (std::int32_t cy = 0; cy < m; ++cy) {
+            for (std::int32_t cx = 0; cx < m; ++cx) {
+                if ((cx + cy) % 2 != parity) {
+                    continue;
+                }
+                const std::size_t id = cp.grid().id_of({cx, cy});
+                if (cp.zone_of_cell(id) == core::zone::central) {
+                    mask[id] = 1;
+                    ++count;
+                }
+            }
+        }
+        if (count == 0 || count == cp.central_cell_count()) {
+            continue;
+        }
+        worst = std::min(worst, cp.expansion_ratio(mask));
+    }
+    return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::cli_args args(argc, argv);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 20'000));
+    const double c1 = args.get_double("c1", 3.0);
+    const auto trials = static_cast<std::size_t>(args.get_int("trials", 2000));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    bench::banner("L9", "Lemma 9: |boundary(B)| >= sqrt(min(|B|, |CZ|-|B|)) for all B in CZ");
+
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
+    const core::cell_partition cp(n, side, radius);
+
+    util::table t({"adversary family", "min |dB| / sqrt(min(|B|,|CZ|-|B|))", "ok"});
+    const std::pair<const char*, double> families[] = {
+        {"random subsets", min_ratio_random(cp, trials, seed)},
+        {"compact blocks", min_ratio_blocks(cp)},
+        {"row bands", min_ratio_bands(cp)},
+        {"checkerboards", min_ratio_checkerboard(cp)},
+    };
+    bool all_ok = true;
+    double global_min = std::numeric_limits<double>::infinity();
+    for (const auto& [name, ratio] : families) {
+        const bool ok = ratio >= 1.0;
+        all_ok = all_ok && ok;
+        global_min = std::min(global_min, ratio);
+        t.add_row({name, util::fmt(ratio), util::fmt_bool(ok)});
+    }
+    std::printf("%s", t.markdown().c_str());
+    std::printf("\nCentral Zone: %zu cells on a %d x %d grid; global min ratio %s\n",
+                cp.central_cell_count(), cp.grid().cells_per_side(),
+                cp.grid().cells_per_side(), util::fmt(global_min).c_str());
+    bench::verdict(all_ok, "expansion ratio >= 1 for every adversary family");
+    return 0;
+}

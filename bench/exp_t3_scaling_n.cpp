@@ -1,0 +1,53 @@
+// T3c — Theorem 3, scaling in n: standard case L = sqrt(n), R = c1 sqrt(ln n),
+// v = Theta(R). The paper's discussion: in this regime the bound is O(L/R)
+// and optimal, so the measured time normalised by L/R must stay flat as n
+// grows 16x.
+//
+// Knobs: --c1=3 --seeds=3 --seed=1
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/scenario.h"
+#include "stats/fit.h"
+#include "stats/summary.h"
+
+using namespace manhattan;
+
+int main(int argc, char** argv) {
+    const util::cli_args args(argc, argv);
+    const double c1 = args.get_double("c1", 3.0);
+    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+    const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    bench::banner("T3c", "Theorem 3: scaling with n at L = sqrt(n), R = c1 sqrt(ln n)");
+
+    util::table t({"n", "L", "R", "mean T", "sd", "L/R", "T / (L/R)"});
+    std::vector<double> ns;
+    std::vector<double> ratios;
+    for (const std::size_t n : {4000u, 8000u, 16'000u, 32'000u, 64'000u}) {
+        core::scenario sc;
+        sc.params = bench::standard_params(n, c1, 0.0);
+        sc.params.speed = bench::default_speed(sc.params.radius);
+        sc.source = core::source_placement::center_most;
+        sc.seed = seed0;
+        sc.max_steps = 500'000;
+        const auto s = stats::summarize(core::flooding_times(sc, seeds));
+        const double l_over_r = sc.params.side / sc.params.radius;
+        ns.push_back(static_cast<double>(n));
+        ratios.push_back(s.mean / l_over_r);
+        t.add_row({util::fmt(n), util::fmt(sc.params.side), util::fmt(sc.params.radius),
+                   util::fmt(s.mean), util::fmt(s.stddev), util::fmt(l_over_r),
+                   util::fmt(s.mean / l_over_r)});
+    }
+    std::printf("%s", t.markdown().c_str());
+
+    const auto fit = stats::power_fit(ns, ratios);
+    std::printf("\nT/(L/R) ~ n^%s (power fit, r2 = %s); paper predicts exponent ~ 0\n",
+                util::fmt(fit.exponent).c_str(), util::fmt(fit.r2).c_str());
+
+    const auto s = stats::summarize(ratios);
+    bench::verdict(s.max <= 2.0 * s.min && std::abs(fit.exponent) < 0.25,
+                   "normalised flooding time T/(L/R) flat across a 16x range of n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+// T3b — Theorem 3, speed sweep: flooding time vs v at fixed small R, in the
+// regime where the Suburb is genuinely sparse (n = 1e5, c1 = 1.2; see the
+// calibration in EXPERIMENTS.md). The paper predicts
+//     T ~ O(L/R) + O(S/v):
+// the Central-Zone informing time must be flat in v while the total time's
+// suburb tail grows like 1/v (affine fit against 1/v must be strong).
+//
+// Knobs: --n=100000 --c1=1.2 --seeds=2 --seed=1
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/scenario.h"
+#include "stats/fit.h"
+#include "stats/summary.h"
+
+using namespace manhattan;
+
+int main(int argc, char** argv) {
+    const util::cli_args args(argc, argv);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 100'000));
+    const double c1 = args.get_double("c1", 1.2);
+    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 2));
+    const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    bench::banner("T3b", "Theorem 3: flooding time vs agent speed v (suburb term)");
+
+    core::net_params base = bench::standard_params(n, c1, 0.0);
+    const double v_max = bench::default_speed(base.radius);
+    const std::vector<double> speeds = {v_max, 0.2, 0.1, 0.05, 0.02};
+
+    util::table t({"v", "mean T", "cz T", "suburb tail (T - czT)", "1/v"});
+    std::vector<double> inv_v;
+    std::vector<double> tails;
+    std::vector<double> cz_times;
+    for (const double v : speeds) {
+        double mean_t = 0.0;
+        double mean_cz = 0.0;
+        for (std::size_t rep = 0; rep < seeds; ++rep) {
+            core::scenario sc;
+            sc.params = base;
+            sc.params.speed = v;
+            sc.source = core::source_placement::center_most;
+            sc.seed = seed0 + rep;
+            sc.max_steps = 500'000;
+            const auto out = core::run_scenario(sc);
+            mean_t += static_cast<double>(out.flood.flooding_time);
+            mean_cz += out.flood.central_zone_informed_step
+                           ? static_cast<double>(*out.flood.central_zone_informed_step)
+                           : 0.0;
+        }
+        mean_t /= static_cast<double>(seeds);
+        mean_cz /= static_cast<double>(seeds);
+        const double tail = mean_t - mean_cz;
+        inv_v.push_back(1.0 / v);
+        tails.push_back(tail);
+        cz_times.push_back(mean_cz);
+        t.add_row({util::fmt(v), util::fmt(mean_t), util::fmt(mean_cz), util::fmt(tail),
+                   util::fmt(1.0 / v)});
+    }
+    std::printf("%s", t.markdown().c_str());
+
+    const auto fit = stats::linear_fit(inv_v, tails);
+    const auto cz = stats::summarize(cz_times);
+    std::printf("\nsuburb tail ~ %s + %s * (1/v), r2 = %s  (Theorem 3 slope ~ S)\n",
+                util::fmt(fit.intercept).c_str(), util::fmt(fit.slope).c_str(),
+                util::fmt(fit.r2).c_str());
+    std::printf("central-zone time: min %s, max %s (paper: independent of v)\n",
+                util::fmt(cz.min).c_str(), util::fmt(cz.max).c_str());
+
+    const bool cz_flat = cz.max <= 2.0 * cz.min + 2.0;
+    const bool tail_grows = tails.back() > tails.front();
+    bench::verdict(cz_flat && tail_grows && fit.r2 > 0.7 && fit.slope > 0.0,
+                   "CZ time flat in v; suburb tail affine in 1/v with positive slope");
+    return 0;
+}

@@ -1,0 +1,129 @@
+// PERF — google-benchmark micro-benchmarks of the simulation engine: the
+// throughput numbers that justify the "fast grid simulation" claim (agent
+// steps/s, flooding step cost, spatial-index rebuild, sampler throughput,
+// snapshot graph construction, partition construction).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/cell_partition.h"
+#include "core/flooding.h"
+#include "core/params.h"
+#include "geom/uniform_grid.h"
+#include "graph/disk_graph.h"
+#include "mobility/factory.h"
+#include "mobility/walker.h"
+#include "rng/rng.h"
+
+namespace {
+
+using namespace manhattan;
+
+double side_for(std::size_t n) {
+    return std::sqrt(static_cast<double>(n));
+}
+
+void bm_mobility_step(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto kind = static_cast<mobility::model_kind>(state.range(1));
+    const double side = side_for(n);
+    const auto model = mobility::make_model(kind, side);
+    mobility::walker w(model, n, 1.0, rng::rng{1});
+    for (auto _ : state) {
+        w.step();
+        benchmark::DoNotOptimize(w.positions().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void bm_stationary_sampler(benchmark::State& state) {
+    const auto kind = static_cast<mobility::model_kind>(state.range(0));
+    const auto model = mobility::make_model(kind, 100.0);
+    rng::rng gen(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model->stationary_state(gen));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_grid_rebuild(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const double side = side_for(n);
+    const auto model = mobility::make_model(mobility::model_kind::mrwp, side);
+    mobility::walker w(model, n, 1.0, rng::rng{3});
+    geom::uniform_grid grid(side, 5.0);
+    for (auto _ : state) {
+        grid.rebuild(w.positions());
+        benchmark::DoNotOptimize(grid.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void bm_flood_run(benchmark::State& state) {
+    // Times a complete flooding run (walker construction included — the
+    // stationary sampling is ~10% of the total at these sizes).
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const double side = side_for(n);
+    const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+    const auto model = mobility::make_model(mobility::model_kind::mrwp, side);
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        mobility::walker w(model, n, core::paper::speed_bound(radius), rng::rng{4});
+        core::flood_config cfg;
+        cfg.record_timeline = false;
+        core::flooding_sim sim(std::move(w), radius, cfg);
+        const auto result = sim.run();
+        steps += result.flooding_time;
+        benchmark::DoNotOptimize(result.informed_count);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(steps) * static_cast<std::int64_t>(n));
+    state.counters["flood_steps"] =
+        static_cast<double>(steps) / static_cast<double>(state.iterations());
+}
+
+void bm_disk_graph_build(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const double side = side_for(n);
+    const double radius = 2.0 * std::sqrt(std::log(static_cast<double>(n)));
+    const auto model = mobility::make_model(mobility::model_kind::mrwp, side);
+    mobility::walker w(model, n, 1.0, rng::rng{5});
+    for (auto _ : state) {
+        const graph::disk_graph g(w.positions(), radius, side);
+        benchmark::DoNotOptimize(g.edge_count());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+
+void bm_cell_partition_build(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const double side = side_for(n);
+    const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+    for (auto _ : state) {
+        const core::cell_partition cp(n, side, radius);
+        benchmark::DoNotOptimize(cp.central_cell_count());
+    }
+}
+
+}  // namespace
+
+BENCHMARK(bm_mobility_step)
+    ->Args({10'000, static_cast<int>(mobility::model_kind::mrwp)})
+    ->Args({100'000, static_cast<int>(mobility::model_kind::mrwp)})
+    ->Args({10'000, static_cast<int>(mobility::model_kind::rwp)})
+    ->Args({10'000, static_cast<int>(mobility::model_kind::random_walk)})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(bm_stationary_sampler)
+    ->Arg(static_cast<int>(mobility::model_kind::mrwp))
+    ->Arg(static_cast<int>(mobility::model_kind::rwp));
+
+BENCHMARK(bm_grid_rebuild)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_flood_run)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_disk_graph_build)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_cell_partition_build)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

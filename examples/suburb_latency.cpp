@@ -1,0 +1,100 @@
+// Suburb latency study: who gets the message last, and when?
+//
+// The paper's sharpest qualitative claim is that the sparse, highly
+// disconnected suburb is informed almost as fast as the dense central zone.
+// This example runs one flooding process and breaks the informing times down
+// by the zone each agent occupied when it was informed, printing the latency
+// distribution per zone.
+//
+//     ./build/examples/suburb_latency --n=100000 --c1=1.5 --v=0.05
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/cell_partition.h"
+#include "core/flooding.h"
+#include "core/params.h"
+#include "mobility/mrwp.h"
+#include "mobility/walker.h"
+#include "stats/summary.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace manhattan;
+
+int main(int argc, char** argv) {
+    const util::cli_args args(argc, argv);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 100'000));
+    const double c1 = args.get_double("c1", 1.5);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
+    const double speed = args.get_double("v", core::paper::speed_bound(radius));
+
+    const core::cell_partition cells(n, side, radius);
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    mobility::walker w(model, n, speed, rng::rng{seed});
+
+    // Start the flood at the agent nearest the center.
+    std::size_t source = 0;
+    double best = 1e18;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = geom::dist2(w.positions()[i], {side / 2, side / 2});
+        if (d < best) {
+            best = d;
+            source = i;
+        }
+    }
+
+    // Remember each agent's zone at t=0 (center vs suburb residents).
+    std::vector<core::zone> zone_at_start(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        zone_at_start[i] = cells.zone_of_point(w.positions()[i]);
+    }
+
+    core::flood_config cfg;
+    cfg.source = source;
+    cfg.max_steps = 500'000;
+    core::flooding_sim sim(std::move(w), radius, cfg, &cells);
+    const auto result = sim.run();
+
+    std::printf("Suburb latency — n = %zu, L = %.0f, R = %.2f, v = %.3f\n", n, side, radius,
+                speed);
+    std::printf("suburb: %zu of %zu cells; S = %.1f; flooding %s in %llu steps\n\n",
+                cells.suburb_cell_count(), cells.grid().cell_count(),
+                cells.suburb_diameter(), result.completed ? "completed" : "DID NOT complete",
+                static_cast<unsigned long long>(result.flooding_time));
+
+    // Latency distribution by start zone.
+    std::vector<double> central_lat;
+    std::vector<double> suburb_lat;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (result.informed_at[i] == core::never_informed) {
+            continue;
+        }
+        (zone_at_start[i] == core::zone::central ? central_lat : suburb_lat)
+            .push_back(static_cast<double>(result.informed_at[i]));
+    }
+
+    util::table t({"agents starting in", "count", "median", "p75", "max"});
+    for (const auto& [name, lat] :
+         {std::pair{"central zone", &central_lat}, std::pair{"suburb", &suburb_lat}}) {
+        if (lat->empty()) {
+            t.add_row({name, "0", "-", "-", "-"});
+            continue;
+        }
+        const auto s = stats::summarize(*lat);
+        t.add_row({name, util::fmt(s.count), util::fmt(s.median), util::fmt(s.p75),
+                   util::fmt(s.max)});
+    }
+    std::printf("%s\n", t.markdown().c_str());
+    if (result.central_zone_informed_step) {
+        std::printf("central zone fully informed at step %llu; last agent at step %llu\n",
+                    static_cast<unsigned long long>(*result.central_zone_informed_step),
+                    static_cast<unsigned long long>(result.flooding_time));
+        std::printf("(the gap is the O(S/v) suburb term of Theorem 3)\n");
+    }
+    return 0;
+}

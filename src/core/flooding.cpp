@@ -1,0 +1,147 @@
+#include "core/flooding.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/union_find.h"
+
+namespace manhattan::core {
+
+flooding_sim::flooding_sim(mobility::walker agents, double radius, flood_config cfg,
+                           const cell_partition* cells)
+    : walker_(std::move(agents)),
+      radius_(radius),
+      cfg_(cfg),
+      cells_(cells),
+      grid_(walker_.model().side(), std::min(radius, walker_.model().side())) {
+    if (!(radius > 0.0)) {
+        throw std::invalid_argument("flooding_sim: radius must be positive");
+    }
+    if (cfg_.source >= walker_.size()) {
+        throw std::invalid_argument("flooding_sim: source agent out of range");
+    }
+    informed_.assign(walker_.size(), 0);
+    informed_at_.assign(walker_.size(), never_informed);
+    informed_[cfg_.source] = 1;
+    informed_at_[cfg_.source] = 0;
+    informed_list_.push_back(static_cast<std::uint32_t>(cfg_.source));
+    informed_count_ = 1;
+    update_zone_metrics();
+}
+
+void flooding_sim::propagate_one_hop(std::vector<std::uint32_t>& newly) {
+    const auto positions = walker_.positions();
+    const std::size_t n = walker_.size();
+    const std::size_t informed_before = informed_list_.size();
+
+    if (informed_before <= n - informed_count_) {
+        // Few informed: scan each informed agent's neighbourhood.
+        for (std::size_t k = 0; k < informed_before; ++k) {
+            const std::uint32_t b = informed_list_[k];
+            grid_.for_each_in_radius(positions[b], radius_, [&](std::uint32_t a) {
+                if (informed_[a] == 0) {
+                    informed_[a] = 2;  // mark "newly informed" so we don't re-add
+                    newly.push_back(a);
+                }
+            });
+        }
+    } else {
+        // Few uninformed: probe each for an already-informed neighbour.
+        for (std::uint32_t a = 0; a < n; ++a) {
+            if (informed_[a] != 0) {
+                continue;
+            }
+            const bool hit = grid_.any_in_radius(
+                positions[a], radius_, [&](std::uint32_t b) { return informed_[b] == 1; });
+            if (hit) {
+                informed_[a] = 2;
+                newly.push_back(a);
+            }
+        }
+    }
+}
+
+void flooding_sim::propagate_per_component(std::vector<std::uint32_t>& newly) {
+    const auto positions = walker_.positions();
+    const std::size_t n = walker_.size();
+    graph::union_find dsu(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        grid_.for_each_in_radius(positions[i], radius_, [&](std::uint32_t j) {
+            if (j > i) {
+                dsu.unite(i, j);
+            }
+        });
+    }
+    std::vector<std::uint8_t> root_informed(n, 0);
+    for (const std::uint32_t b : informed_list_) {
+        root_informed[dsu.find(b)] = 1;
+    }
+    for (std::uint32_t a = 0; a < n; ++a) {
+        if (informed_[a] == 0 && root_informed[dsu.find(a)] != 0) {
+            informed_[a] = 2;
+            newly.push_back(a);
+        }
+    }
+}
+
+void flooding_sim::commit(const std::vector<std::uint32_t>& newly) {
+    for (const std::uint32_t a : newly) {
+        informed_[a] = 1;
+        informed_at_[a] = static_cast<std::uint32_t>(step_count_);
+        informed_list_.push_back(a);
+        if (cells_ != nullptr &&
+            cells_->zone_of_point(walker_.positions()[a]) == zone::suburb) {
+            last_suburb_informed_step_ = step_count_;
+        }
+    }
+    informed_count_ += newly.size();
+}
+
+void flooding_sim::update_zone_metrics() {
+    if (cells_ == nullptr || cz_informed_step_.has_value()) {
+        return;
+    }
+    const auto positions = walker_.positions();
+    for (std::size_t i = 0; i < walker_.size(); ++i) {
+        if (informed_[i] == 0 && cells_->zone_of_point(positions[i]) == zone::central) {
+            return;  // an uninformed agent sits in a Central-Zone cell
+        }
+    }
+    cz_informed_step_ = step_count_;
+}
+
+std::size_t flooding_sim::step() {
+    ++step_count_;
+    walker_.step();
+    grid_.rebuild(walker_.positions());
+
+    std::vector<std::uint32_t> newly;
+    if (cfg_.mode == propagation::one_hop) {
+        propagate_one_hop(newly);
+    } else {
+        propagate_per_component(newly);
+    }
+    commit(newly);
+    update_zone_metrics();
+    if (cfg_.record_timeline) {
+        timeline_.push_back(informed_count_);
+    }
+    return newly.size();
+}
+
+flood_result flooding_sim::run() {
+    while (!all_informed() && step_count_ < cfg_.max_steps) {
+        (void)step();
+    }
+    flood_result r;
+    r.completed = all_informed();
+    r.flooding_time = step_count_;
+    r.informed_count = informed_count_;
+    r.informed_at = informed_at_;
+    r.timeline = std::move(timeline_);
+    r.central_zone_informed_step = cz_informed_step_;
+    r.last_suburb_informed_step = last_suburb_informed_step_;
+    return r;
+}
+
+}  // namespace manhattan::core

@@ -1,0 +1,100 @@
+/// \file flooding.h
+/// The flooding protocol of Section 4: every informed agent transmits at each
+/// discrete time step; an uninformed agent within Euclidean distance R of an
+/// (already) informed agent becomes informed and transmits from the next step
+/// on. The flooding time is the first step at which all n agents are informed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/cell_partition.h"
+#include "geom/uniform_grid.h"
+#include "mobility/walker.h"
+
+namespace manhattan::core {
+
+/// How information spreads within one time step.
+enum class propagation : std::uint8_t {
+    one_hop,        ///< the paper's protocol: one transmission hop per step
+    per_component,  ///< ablation: a whole connected component floods per step
+};
+
+/// Flooding run configuration.
+struct flood_config {
+    propagation mode = propagation::one_hop;
+    std::size_t source = 0;              ///< initially informed agent
+    std::uint64_t max_steps = 1'000'000; ///< give-up horizon for run()
+    bool record_timeline = true;         ///< keep per-step informed counts
+};
+
+/// Sentinel for "never informed" in flood_result::informed_at.
+inline constexpr std::uint32_t never_informed = std::numeric_limits<std::uint32_t>::max();
+
+/// Everything a flooding run produces (F.21 struct return).
+struct flood_result {
+    bool completed = false;           ///< all agents informed within max_steps
+    std::uint64_t flooding_time = 0;  ///< steps until the last agent was informed
+    std::size_t informed_count = 0;
+    std::vector<std::uint32_t> informed_at;  ///< per-agent informing step (source: 0)
+    std::vector<std::size_t> timeline;       ///< informed count after each step
+
+    /// First step at which every Central-Zone cell was informed, in the
+    /// paper's sense: no uninformed agent located in any CZ cell (empty cells
+    /// count as informed). Only tracked when a cell partition was supplied.
+    std::optional<std::uint64_t> central_zone_informed_step;
+
+    /// Step at which the last agent *located in the Suburb at informing
+    /// time* was informed (0 when partition absent or no such agent).
+    std::uint64_t last_suburb_informed_step = 0;
+};
+
+/// Discrete-time flooding simulation over a walker population.
+///
+/// The walker is owned (moved in). An optional cell_partition observer
+/// enables the Central-Zone / Suburb metrics; it must outlive the simulation.
+class flooding_sim {
+ public:
+    /// Throws if source is out of range or radius is not positive.
+    flooding_sim(mobility::walker agents, double radius, flood_config cfg = {},
+                 const cell_partition* cells = nullptr);
+
+    /// Advance one time step (move + transmit). Returns newly informed count.
+    std::size_t step();
+
+    /// Run until everyone is informed or cfg.max_steps is hit.
+    [[nodiscard]] flood_result run();
+
+    [[nodiscard]] bool all_informed() const noexcept {
+        return informed_count_ == walker_.size();
+    }
+    [[nodiscard]] std::size_t informed_count() const noexcept { return informed_count_; }
+    [[nodiscard]] std::uint64_t steps_taken() const noexcept { return step_count_; }
+    [[nodiscard]] bool is_informed(std::size_t i) const { return informed_[i] != 0; }
+    [[nodiscard]] const mobility::walker& agents() const noexcept { return walker_; }
+    [[nodiscard]] double radius() const noexcept { return radius_; }
+
+ private:
+    void propagate_one_hop(std::vector<std::uint32_t>& newly);
+    void propagate_per_component(std::vector<std::uint32_t>& newly);
+    void commit(const std::vector<std::uint32_t>& newly);
+    void update_zone_metrics();
+
+    mobility::walker walker_;
+    double radius_;
+    flood_config cfg_;
+    const cell_partition* cells_;
+    geom::uniform_grid grid_;
+    std::vector<std::uint8_t> informed_;
+    std::vector<std::uint32_t> informed_at_;
+    std::vector<std::uint32_t> informed_list_;  ///< informed agent ids in informing order
+    std::size_t informed_count_ = 0;
+    std::uint64_t step_count_ = 0;
+    std::vector<std::size_t> timeline_;
+    std::optional<std::uint64_t> cz_informed_step_;
+    std::uint64_t last_suburb_informed_step_ = 0;
+};
+
+}  // namespace manhattan::core

@@ -1,0 +1,70 @@
+#include "core/meetings.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/uniform_grid.h"
+
+namespace manhattan::core {
+
+rescue_result measure_suburb_rescue(mobility::walker& agents, const cell_partition& cells,
+                                    const rescue_config& cfg) {
+    if (!(cfg.meeting_radius > 0.0)) {
+        throw std::invalid_argument("measure_suburb_rescue: meeting radius must be positive");
+    }
+    const double side = agents.model().side();
+    if (std::abs(side - cells.side()) > 1e-9) {
+        throw std::invalid_argument("measure_suburb_rescue: partition/walker side mismatch");
+    }
+
+    const std::size_t n = agents.size();
+    std::vector<std::uint8_t> is_cz_resident(n, 0);
+    rescue_result result;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (cells.zone_of_point(agents.positions()[i]) == zone::central) {
+            is_cz_resident[i] = 1;
+        } else {
+            result.watched.push_back(i);
+        }
+    }
+    result.met_at.assign(result.watched.size(), never_met);
+    if (result.watched.empty()) {
+        result.all_met = true;
+        return result;
+    }
+
+    // Index only the CZ residents: each pending suburb agent probes for one.
+    std::vector<geom::vec2> cz_positions;
+    cz_positions.reserve(n);
+    geom::uniform_grid grid(side, std::min(cfg.meeting_radius, side));
+
+    std::size_t pending = result.watched.size();
+    for (std::uint64_t step = 1; step <= cfg.max_steps && pending > 0; ++step) {
+        agents.step();
+        cz_positions.clear();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (is_cz_resident[i] != 0) {
+                cz_positions.push_back(agents.positions()[i]);
+            }
+        }
+        grid.rebuild(cz_positions);
+        for (std::size_t w = 0; w < result.watched.size(); ++w) {
+            if (result.met_at[w] != never_met) {
+                continue;
+            }
+            const auto pos = agents.positions()[result.watched[w]];
+            const bool met = grid.any_in_radius(pos, cfg.meeting_radius,
+                                                [](std::uint32_t) { return true; });
+            if (met) {
+                result.met_at[w] = static_cast<std::uint32_t>(step);
+                --pending;
+            }
+        }
+        result.steps_run = step;
+    }
+    result.met_count = result.watched.size() - pending;
+    result.all_met = pending == 0;
+    return result;
+}
+
+}  // namespace manhattan::core

@@ -1,0 +1,46 @@
+/// \file meetings.h
+/// The "meeting" machinery of the Suburb analysis (Lemma 16): two agents meet
+/// at time t when their distance is at most (3/4) R. The rescue experiment
+/// measures, for every agent starting in the (extended) Suburb, the first
+/// time she meets an agent that was in the Central Zone at the start — the
+/// quantity Lemma 16 bounds by tau = 590 S / v.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/cell_partition.h"
+#include "mobility/walker.h"
+
+namespace manhattan::core {
+
+/// Sentinel for "never met".
+inline constexpr std::uint32_t never_met = std::numeric_limits<std::uint32_t>::max();
+
+/// Configuration of a rescue measurement.
+struct rescue_config {
+    double meeting_radius = 0.0;   ///< (3/4) R in the paper
+    std::uint64_t max_steps = 100'000;
+};
+
+/// Result of a rescue measurement (F.21 struct return).
+struct rescue_result {
+    std::vector<std::uint32_t> watched;      ///< agent ids starting in the Suburb
+    std::vector<std::uint32_t> met_at;       ///< per watched agent: first meeting step
+    std::size_t met_count = 0;
+    std::uint64_t steps_run = 0;
+    bool all_met = false;
+};
+
+/// Advance the walker until every agent that starts in the Suburb (per the
+/// partition) has met some agent that started in the Central Zone, or
+/// max_steps elapse. The walker is advanced in place.
+///
+/// Throws if the partition side mismatches the walker's model or the meeting
+/// radius is not positive.
+[[nodiscard]] rescue_result measure_suburb_rescue(mobility::walker& agents,
+                                                  const cell_partition& cells,
+                                                  const rescue_config& cfg);
+
+}  // namespace manhattan::core

@@ -1,0 +1,92 @@
+#include "core/params.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace manhattan::core {
+
+void net_params::validate() const {
+    if (n == 0) {
+        throw std::invalid_argument("net_params: n must be positive");
+    }
+    if (!(side > 0.0)) {
+        throw std::invalid_argument("net_params: side must be positive");
+    }
+    if (!(radius > 0.0)) {
+        throw std::invalid_argument("net_params: radius must be positive");
+    }
+    if (speed < 0.0) {
+        throw std::invalid_argument("net_params: speed must be non-negative");
+    }
+}
+
+net_params net_params::standard_case(std::size_t n, double radius, double speed) {
+    net_params p{n, std::sqrt(static_cast<double>(n)), radius, speed};
+    p.validate();
+    return p;
+}
+
+namespace paper {
+
+double speed_bound(double radius) noexcept {
+    return radius / (3.0 * one_plus_sqrt5);
+}
+
+double radius_threshold(double side, std::size_t n, double c1) noexcept {
+    const auto nn = static_cast<double>(n);
+    return c1 * side * std::sqrt(std::log(nn) / nn);
+}
+
+double large_radius_threshold(double side, std::size_t n) noexcept {
+    const auto nn = static_cast<double>(n);
+    return one_plus_sqrt5 / 2.0 * side * std::cbrt(3.0 * std::log(nn) / nn);
+}
+
+double central_zone_threshold(std::size_t n) noexcept {
+    const auto nn = static_cast<double>(n);
+    return 3.0 / 8.0 * std::log(nn) / nn;
+}
+
+double suburb_diameter(double side, double cell_side, std::size_t n) noexcept {
+    const auto nn = static_cast<double>(n);
+    return 3.0 * side * side * side * std::log(nn) / (2.0 * cell_side * cell_side * nn);
+}
+
+double central_zone_flood_bound(double side, double radius) noexcept {
+    return 18.0 * side / radius;
+}
+
+double suburb_rescue_window(double suburb_diam, double speed) noexcept {
+    return 590.0 * suburb_diam / speed;
+}
+
+double theorem3_bound(const net_params& p) noexcept {
+    const auto nn = static_cast<double>(p.n);
+    const double lr = p.side / p.radius;
+    if (!(p.speed > 0.0)) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return lr + p.side / p.speed * lr * lr * std::log(nn) / nn;
+}
+
+double turn_bound(double side, double speed, double tau, std::size_t n) noexcept {
+    const auto nn = static_cast<double>(n);
+    return 4.0 * std::log(nn) / std::log(side / (speed * tau));
+}
+
+double meeting_radius(double radius) noexcept {
+    return 0.75 * radius;
+}
+
+double lower_bound_radius(double side, std::size_t n) noexcept {
+    return side / std::cbrt(static_cast<double>(n));
+}
+
+double lower_bound_time(double side, double speed, std::size_t n) noexcept {
+    return side / (speed * std::cbrt(static_cast<double>(n)));
+}
+
+}  // namespace paper
+
+}  // namespace manhattan::core

@@ -1,0 +1,76 @@
+/// \file params.h
+/// Network parameters (n, L, R, v) and every closed-form constant the paper
+/// attaches to them. Centralising these means tests, benches and docs all
+/// agree on what "the paper's bound" is.
+#pragma once
+
+#include <cstddef>
+
+namespace manhattan::core {
+
+/// The MANET parameter quadruple of Theorem 3.
+struct net_params {
+    std::size_t n = 0;   ///< number of agents
+    double side = 0.0;   ///< square side length L
+    double radius = 0.0; ///< transmission radius R
+    double speed = 0.0;  ///< agent speed v (distance per time unit)
+
+    /// Throws std::invalid_argument if any field is non-positive
+    /// (speed may be zero: the paper's degenerate v = 0 discussion).
+    void validate() const;
+
+    /// The "standard case" of the paper: L = sqrt(n).
+    [[nodiscard]] static net_params standard_case(std::size_t n, double radius, double speed);
+};
+
+/// Closed-form constants of the paper, named after where they appear.
+namespace paper {
+
+/// 1 + sqrt(5): cell side lower factor in Ineq. 6.
+inline constexpr double one_plus_sqrt5 = 3.2360679774997896;
+/// sqrt(5): cell side upper factor in Ineq. 6.
+inline constexpr double sqrt5 = 2.23606797749979;
+
+/// Ineq. 8: the slow-mobility bound v <= R / (3 (1 + sqrt 5)) guaranteeing an
+/// agent in a cell core stays inside its cell for a full step.
+[[nodiscard]] double speed_bound(double radius) noexcept;
+
+/// Ineq. 7 with constant c1 (paper: 200): R >= c1 L sqrt(ln n / n).
+[[nodiscard]] double radius_threshold(double side, std::size_t n, double c1 = 200.0) noexcept;
+
+/// Corollary 12's "large R": (1+sqrt5)/2 * L * (3 ln n / n)^(1/3). At or above
+/// this radius every cell is in the Central Zone (empty Suburb).
+[[nodiscard]] double large_radius_threshold(double side, std::size_t n) noexcept;
+
+/// Definition 4's Central-Zone mass threshold: (3/8) ln n / n.
+[[nodiscard]] double central_zone_threshold(std::size_t n) noexcept;
+
+/// S = 3 L^3 ln n / (2 l^2 n) — the Suburb diameter bound (Lemma 15), with
+/// l the cell side.
+[[nodiscard]] double suburb_diameter(double side, double cell_side, std::size_t n) noexcept;
+
+/// Theorem 10 / Corollary 12: the Central Zone floods within 18 L / R steps.
+[[nodiscard]] double central_zone_flood_bound(double side, double radius) noexcept;
+
+/// Lemma 16's tau = 590 S / v: the Suburb rescue window.
+[[nodiscard]] double suburb_rescue_window(double suburb_diam, double speed) noexcept;
+
+/// The full Theorem 3 bound shape: L/R + (L/v) (L/R)^2 ln n / n, up to
+/// constants. Returned without leading constants — experiments report the
+/// measured/bound *ratio* whose flatness across sweeps is the PASS criterion.
+[[nodiscard]] double theorem3_bound(const net_params& p) noexcept;
+
+/// Lemma 13's bound on the number of direction changes in a window of tau
+/// time units: 4 ln n / ln(L / (v tau)).
+[[nodiscard]] double turn_bound(double side, double speed, double tau, std::size_t n) noexcept;
+
+/// "Meeting" radius of the Suburb analysis: (3/4) R.
+[[nodiscard]] double meeting_radius(double radius) noexcept;
+
+/// Theorem 18's premise radius scale L / n^(1/3) and bound L / (v n^(1/3)).
+[[nodiscard]] double lower_bound_radius(double side, std::size_t n) noexcept;
+[[nodiscard]] double lower_bound_time(double side, double speed, std::size_t n) noexcept;
+
+}  // namespace paper
+
+}  // namespace manhattan::core

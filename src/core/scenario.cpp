@@ -1,0 +1,101 @@
+#include "core/scenario.h"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "geom/vec2.h"
+
+namespace manhattan::core {
+
+namespace {
+
+std::size_t pick_source(const mobility::walker& agents, source_placement placement) {
+    const auto positions = agents.positions();
+    const double side = agents.model().side();
+    geom::vec2 target;
+    switch (placement) {
+        case source_placement::random_agent:
+            return 0;  // stationary samples are exchangeable
+        case source_placement::center_most:
+            target = {side / 2.0, side / 2.0};
+            break;
+        case source_placement::corner_most:
+            target = {0.0, 0.0};
+            break;
+    }
+    std::size_t best = 0;
+    double best_d = geom::dist2(positions[0], target);
+    for (std::size_t i = 1; i < positions.size(); ++i) {
+        const double d = geom::dist2(positions[i], target);
+        if (d < best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+scenario_outcome run_scenario(const scenario& sc) {
+    sc.params.validate();
+    const auto start = std::chrono::steady_clock::now();
+
+    const auto model = mobility::make_model(sc.model, sc.params.side, sc.model_opts);
+    rng::rng gen(sc.seed);
+    mobility::walker agents(model, sc.params.n, sc.params.speed, gen,
+                            sc.stationary_start ? mobility::start_mode::stationary
+                                                : mobility::start_mode::uniform_fresh);
+    if (sc.warmup_time > 0.0) {
+        agents.advance_time(sc.warmup_time);
+    }
+
+    // The cell partition requires Ineq. 6 to be satisfiable; out-of-regime
+    // radii (R > ~L) simply run without Central-Zone metrics.
+    std::unique_ptr<cell_partition> cells;
+    if (sc.with_cell_partition) {
+        try {
+            cells = std::make_unique<cell_partition>(sc.params.n, sc.params.side,
+                                                     sc.params.radius);
+        } catch (const std::invalid_argument&) {
+            cells = nullptr;
+        }
+    }
+
+    flood_config cfg;
+    cfg.mode = sc.mode;
+    cfg.source = pick_source(agents, sc.source);
+    cfg.max_steps = sc.max_steps;
+    cfg.record_timeline = sc.record_timeline;
+
+    scenario_outcome out;
+    out.source_agent = cfg.source;
+    if (cells) {
+        out.cell_side = cells->cell_side();
+        out.suburb_diameter = cells->suburb_diameter();
+        out.suburb_cells = cells->suburb_cell_count();
+        out.central_cells = cells->central_cell_count();
+    }
+
+    flooding_sim sim(std::move(agents), sc.params.radius, cfg, cells.get());
+    out.flood = sim.run();
+
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return out;
+}
+
+std::vector<double> flooding_times(scenario sc, std::size_t repetitions) {
+    std::vector<double> times;
+    times.reserve(repetitions);
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+        sc.seed = sc.seed + (rep == 0 ? 0 : 1);
+        const scenario_outcome out = run_scenario(sc);
+        times.push_back(static_cast<double>(out.flood.flooding_time));
+    }
+    return times;
+}
+
+}  // namespace manhattan::core

@@ -1,0 +1,57 @@
+/// \file scenario.h
+/// One-call experiment driver: build a model + walker + partition + flooding
+/// simulation from a declarative description, run it, return the results.
+/// Every bench binary and example is a thin loop over run_scenario().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/flooding.h"
+#include "core/params.h"
+#include "mobility/factory.h"
+
+namespace manhattan::core {
+
+/// Where the initially informed agent sits.
+enum class source_placement : std::uint8_t {
+    random_agent,  ///< agent 0 of the stationary sample (exchangeable = uniform)
+    center_most,   ///< agent closest to the square's center (Central Zone start)
+    corner_most,   ///< agent closest to the SW corner (deep Suburb start)
+};
+
+/// Declarative description of one flooding experiment.
+struct scenario {
+    net_params params;                  ///< n, L, R, v
+    mobility::model_kind model = mobility::model_kind::mrwp;
+    mobility::model_options model_opts; ///< baselines' tunables
+    propagation mode = propagation::one_hop;
+    source_placement source = source_placement::random_agent;
+    std::uint64_t seed = 1;
+    bool stationary_start = true;       ///< false: uniform positions + fresh trips
+    double warmup_time = 0.0;           ///< extra mixing time before flooding starts
+    std::uint64_t max_steps = 1'000'000;
+    bool record_timeline = false;
+    bool with_cell_partition = true;    ///< track Central-Zone metrics when feasible
+};
+
+/// Output of one scenario run.
+struct scenario_outcome {
+    flood_result flood;
+    std::size_t source_agent = 0;
+    double wall_seconds = 0.0;
+    double cell_side = 0.0;          ///< 0 when no partition was built
+    double suburb_diameter = 0.0;    ///< S; 0 when no partition was built
+    std::size_t suburb_cells = 0;
+    std::size_t central_cells = 0;
+};
+
+/// Run one scenario. Throws on invalid parameters.
+[[nodiscard]] scenario_outcome run_scenario(const scenario& sc);
+
+/// Run \p repetitions independent replicas (seed, seed+1, ...) and return
+/// their flooding times (steps). Incomplete runs contribute max_steps.
+[[nodiscard]] std::vector<double> flooding_times(scenario sc, std::size_t repetitions);
+
+}  // namespace manhattan::core

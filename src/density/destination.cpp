@@ -1,0 +1,83 @@
+#include "density/destination.h"
+
+#include <stdexcept>
+
+namespace manhattan::density {
+
+double denominator_g(geom::vec2 pos, double side) noexcept {
+    return pos.x * (side - pos.x) + pos.y * (side - pos.y);
+}
+
+namespace {
+
+double checked_g(geom::vec2 pos, double side) {
+    const double g = denominator_g(pos, side);
+    if (!(g > 0.0)) {
+        throw std::invalid_argument(
+            "destination law: position must be strictly inside the square");
+    }
+    return g;
+}
+
+}  // namespace
+
+double quadrant_pdf(geom::vec2 pos, quadrant q, double side) {
+    const double g = checked_g(pos, side);
+    const double x0 = pos.x;
+    const double y0 = pos.y;
+    double numerator = 0.0;
+    switch (q) {
+        case quadrant::sw: numerator = 2.0 * side - x0 - y0; break;
+        case quadrant::ne: numerator = x0 + y0; break;
+        case quadrant::nw: numerator = side - x0 + y0; break;
+        case quadrant::se: numerator = side + x0 - y0; break;
+    }
+    return numerator / (4.0 * side * g);
+}
+
+quadrant classify_quadrant(geom::vec2 pos, geom::vec2 dest) {
+    if (dest.x == pos.x || dest.y == pos.y) {
+        throw std::invalid_argument("classify_quadrant: destination lies on the cross");
+    }
+    if (dest.x < pos.x) {
+        return dest.y < pos.y ? quadrant::sw : quadrant::nw;
+    }
+    return dest.y < pos.y ? quadrant::se : quadrant::ne;
+}
+
+double destination_pdf(geom::vec2 pos, geom::vec2 dest, double side) {
+    return quadrant_pdf(pos, classify_quadrant(pos, dest), side);
+}
+
+double quadrant_mass(geom::vec2 pos, quadrant q, double side) {
+    const double x0 = pos.x;
+    const double y0 = pos.y;
+    double area = 0.0;
+    switch (q) {
+        case quadrant::sw: area = x0 * y0; break;
+        case quadrant::ne: area = (side - x0) * (side - y0); break;
+        case quadrant::nw: area = x0 * (side - y0); break;
+        case quadrant::se: area = (side - x0) * y0; break;
+    }
+    return quadrant_pdf(pos, q, side) * area;
+}
+
+double phi(geom::vec2 pos, cross_segment s, double side) {
+    const double g = checked_g(pos, side);
+    switch (s) {
+        case cross_segment::south:
+        case cross_segment::north:
+            return pos.y * (side - pos.y) / (4.0 * g);
+        case cross_segment::west:
+        case cross_segment::east:
+            return pos.x * (side - pos.x) / (4.0 * g);
+    }
+    return 0.0;  // unreachable
+}
+
+double cross_mass(geom::vec2 pos, double side) {
+    return phi(pos, cross_segment::south, side) + phi(pos, cross_segment::north, side) +
+           phi(pos, cross_segment::west, side) + phi(pos, cross_segment::east, side);
+}
+
+}  // namespace manhattan::density

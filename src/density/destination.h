@@ -1,0 +1,65 @@
+/// \file destination.h
+/// Closed forms of the stationary *destination* distribution of the MRWP
+/// model — Theorem 2 and Equations 4/5 of the paper (derived originally in
+/// [Clementi, Monti, Silvestri, 12]).
+///
+/// Conditioned on an agent being at (x0,y0), her current destination is:
+///  * with total probability 1/2 on the "cross" (the four axis-parallel
+///    segments through (x0,y0)): the agent is on the *final leg* of her
+///    Manhattan path, split per segment by Eq. 4/5; and
+///  * otherwise in one of the four open quadrants around (x0,y0), with the
+///    constant-per-quadrant densities of Theorem 2 (the agent is on her
+///    first leg).
+#pragma once
+
+#include "geom/vec2.h"
+
+namespace manhattan::density {
+
+/// The four open quadrants around the conditioning position.
+enum class quadrant {
+    sw,  ///< x < x0, y < y0
+    se,  ///< x > x0, y < y0
+    nw,  ///< x < x0, y > y0
+    ne,  ///< x > x0, y > y0
+};
+
+/// The four cross segments (current direction of final-leg travel).
+enum class cross_segment {
+    south,  ///< destination (x0, y), y < y0 — agent moving down
+    north,  ///< destination (x0, y), y > y0 — agent moving up
+    west,   ///< destination (x, y0), x < x0 — agent moving left
+    east,   ///< destination (x, y0), x > x0 — agent moving right
+};
+
+/// g(x0,y0) = x0(L-x0) + y0(L-y0); the common denominator of Theorem 2 and
+/// Eq. 4/5 is 4L*g. Must be positive, i.e. the position strictly inside.
+[[nodiscard]] double denominator_g(geom::vec2 pos, double side) noexcept;
+
+/// Theorem 2: constant density of destinations in quadrant \p q around
+/// \p pos. Throws std::invalid_argument if pos lies on the square boundary
+/// (where the conditional law is undefined, g = 0).
+[[nodiscard]] double quadrant_pdf(geom::vec2 pos, quadrant q, double side);
+
+/// Theorem 2 evaluated at a concrete off-cross destination (dispatches on the
+/// quadrant \p dest falls in). Throws if \p dest shares a coordinate with
+/// \p pos (that is the singular cross, not a density).
+[[nodiscard]] double destination_pdf(geom::vec2 pos, geom::vec2 dest, double side);
+
+/// Total mass of quadrant \p q: quadrant_pdf * quadrant area.
+[[nodiscard]] double quadrant_mass(geom::vec2 pos, quadrant q, double side);
+
+/// Eq. 4/5: probability the destination lies on cross segment \p s.
+/// phi^N = phi^S = y0(L-y0)/(4g), phi^E = phi^W = x0(L-x0)/(4g).
+[[nodiscard]] double phi(geom::vec2 pos, cross_segment s, double side);
+
+/// Total cross mass: phi^N + phi^S + phi^E + phi^W. The paper proves this is
+/// identically 1/2 for every interior position; exposed (rather than
+/// hard-coded) so tests can assert the identity.
+[[nodiscard]] double cross_mass(geom::vec2 pos, double side);
+
+/// Which quadrant \p dest falls in relative to \p pos. Throws if on a cross
+/// segment (shared coordinate).
+[[nodiscard]] quadrant classify_quadrant(geom::vec2 pos, geom::vec2 dest);
+
+}  // namespace manhattan::density

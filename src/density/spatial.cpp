@@ -1,0 +1,68 @@
+#include "density/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace manhattan::density {
+
+namespace {
+
+/// Integral of t(L - t) dt over [a, b].
+double parabola_integral(double a, double b, double side) noexcept {
+    return side * (b * b - a * a) / 2.0 - (b * b * b - a * a * a) / 3.0;
+}
+
+}  // namespace
+
+double spatial_pdf(geom::vec2 p, double side) noexcept {
+    if (p.x < 0.0 || p.y < 0.0 || p.x > side || p.y > side) {
+        return 0.0;
+    }
+    const double l4 = side * side * side * side;
+    return 3.0 / l4 * (p.x * (side - p.x) + p.y * (side - p.y));
+}
+
+double spatial_pdf_max(double side) noexcept {
+    return 1.5 / (side * side);
+}
+
+double spatial_rect_mass(const geom::rect& r, double side) noexcept {
+    const double a = std::clamp(r.lo.x, 0.0, side);
+    const double b = std::clamp(r.hi.x, 0.0, side);
+    const double c = std::clamp(r.lo.y, 0.0, side);
+    const double d = std::clamp(r.hi.y, 0.0, side);
+    if (b <= a || d <= c) {
+        return 0.0;
+    }
+    const double l4 = side * side * side * side;
+    return 3.0 / l4 *
+           ((d - c) * parabola_integral(a, b, side) + (b - a) * parabola_integral(c, d, side));
+}
+
+double observation5_cell_mass(geom::vec2 sw_corner, double cell_side, double side) noexcept {
+    const double l = cell_side;
+    const double l4 = side * side * side * side;
+    const double x0 = sw_corner.x;
+    const double y0 = sw_corner.y;
+    return 3.0 * l * l / l4 *
+           (l / 3.0 * (3.0 * side - 2.0 * l) + x0 * (side - l - x0) + y0 * (side - l - y0));
+}
+
+double observation5_lower_bound(double cell_side, double side) noexcept {
+    const double l = cell_side;
+    const double l4 = side * side * side * side;
+    return l * l * l * (3.0 * side - 2.0 * l) / l4;
+}
+
+double spatial_marginal_cdf(double x, double side) noexcept {
+    if (x <= 0.0) {
+        return 0.0;
+    }
+    if (x >= side) {
+        return 1.0;
+    }
+    const double l3 = side * side * side;
+    return (3.0 * side * x * x - 2.0 * x * x * x) / (2.0 * l3) + x / (2.0 * side);
+}
+
+}  // namespace manhattan::density

@@ -1,0 +1,43 @@
+/// \file spatial.h
+/// Closed forms of the stationary *spatial* distribution of the MRWP model —
+/// Theorem 1 of the paper (derived originally in [Crescenzi et al., 13]):
+///
+///     f(x,y) = 3/L^3 (x+y) - 3/L^4 (x^2+y^2) = 3/L^4 ( x(L-x) + y(L-y) )
+///
+/// plus the exact integral over axis-aligned rectangles (Observation 5 is the
+/// special case of a square cell). These are the oracles every sampler test
+/// and the Central-Zone classification (Definition 4) are checked against.
+#pragma once
+
+#include "geom/rect.h"
+#include "geom/vec2.h"
+
+namespace manhattan::density {
+
+/// Stationary spatial pdf f(x,y) of Theorem 1. Requires p inside [0,L]^2
+/// (returns 0 outside, matching the distribution's support).
+[[nodiscard]] double spatial_pdf(geom::vec2 p, double side) noexcept;
+
+/// Maximum of f over the square: attained at the center, 3/(2 L^2).
+[[nodiscard]] double spatial_pdf_max(double side) noexcept;
+
+/// Exact probability mass of an axis-aligned rectangle under f
+/// (rect is clipped to the support square first).
+[[nodiscard]] double spatial_rect_mass(const geom::rect& r, double side) noexcept;
+
+/// Observation 5's closed form for a square cell with SW corner (x0,y0) and
+/// side cell_side. Kept verbatim (it is the formula the paper manipulates) —
+/// equal to spatial_rect_mass of the same cell, which tests assert.
+[[nodiscard]] double observation5_cell_mass(geom::vec2 sw_corner, double cell_side,
+                                            double side) noexcept;
+
+/// Observation 5's lower bound for any cell: (R / ((1+sqrt(5)) L))^3 with
+/// cell side within Ineq. 6 becomes l^3 (3L - 2l) / L^4; we expose the latter
+/// (the sharper intermediate bound in the paper's display).
+[[nodiscard]] double observation5_lower_bound(double cell_side, double side) noexcept;
+
+/// Marginal cdf of the x-coordinate: P(X <= x). By symmetry the same for y.
+/// Used by Kolmogorov-Smirnov tests of the perfect sampler.
+[[nodiscard]] double spatial_marginal_cdf(double x, double side) noexcept;
+
+}  // namespace manhattan::density

@@ -1,0 +1,65 @@
+#include "geom/grid_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace manhattan::geom {
+
+grid_spec::grid_spec(double side, std::int32_t cells_per_side)
+    : side_(side), m_(cells_per_side), cell_side_(side / cells_per_side) {
+    if (!(side > 0.0)) {
+        throw std::invalid_argument("grid_spec: side must be positive");
+    }
+    if (cells_per_side < 1) {
+        throw std::invalid_argument("grid_spec: need at least one cell per side");
+    }
+}
+
+cell_coord grid_spec::cell_of(vec2 p) const noexcept {
+    auto clamp_idx = [this](double v) noexcept {
+        const auto idx = static_cast<std::int32_t>(std::floor(v / cell_side_));
+        return std::clamp(idx, std::int32_t{0}, m_ - 1);
+    };
+    return {clamp_idx(p.x), clamp_idx(p.y)};
+}
+
+rect grid_spec::rect_of(cell_coord c) const {
+    if (!in_bounds(c)) {
+        throw std::out_of_range("grid_spec::rect_of: cell outside grid");
+    }
+    const vec2 lo{c.cx * cell_side_, c.cy * cell_side_};
+    return rect{lo, {lo.x + cell_side_, lo.y + cell_side_}};
+}
+
+std::vector<cell_coord> grid_spec::orthogonal_neighbors(cell_coord c) const {
+    std::vector<cell_coord> out;
+    out.reserve(4);
+    const cell_coord candidates[] = {
+        {c.cx - 1, c.cy}, {c.cx + 1, c.cy}, {c.cx, c.cy - 1}, {c.cx, c.cy + 1}};
+    for (const cell_coord cand : candidates) {
+        if (in_bounds(cand)) {
+            out.push_back(cand);
+        }
+    }
+    return out;
+}
+
+std::vector<cell_coord> grid_spec::surrounding(cell_coord c) const {
+    std::vector<cell_coord> out;
+    out.reserve(8);
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+        for (std::int32_t dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) {
+                continue;
+            }
+            const cell_coord cand{c.cx + dx, c.cy + dy};
+            if (in_bounds(cand)) {
+                out.push_back(cand);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace manhattan::geom

@@ -1,0 +1,77 @@
+/// \file grid_spec.h
+/// The m x m cell partition of the support square — the combinatorial object
+/// at the heart of the paper's Central-Zone analysis (Section 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/vec2.h"
+
+namespace manhattan::geom {
+
+/// Integer cell coordinates: column cx in [0,m), row cy in [0,m).
+struct cell_coord {
+    std::int32_t cx = 0;
+    std::int32_t cy = 0;
+
+    friend constexpr bool operator==(cell_coord, cell_coord) noexcept = default;
+};
+
+/// An m x m partition of [0,L]^2 into square cells of side L/m.
+///
+/// Linear cell ids are row-major: id = cy*m + cx. Points exactly on the top
+/// or right border are clamped into the last cell so the partition covers the
+/// closed square.
+class grid_spec {
+ public:
+    /// Throws unless side > 0 and cells_per_side >= 1.
+    grid_spec(double side, std::int32_t cells_per_side);
+
+    [[nodiscard]] double side() const noexcept { return side_; }
+    [[nodiscard]] std::int32_t cells_per_side() const noexcept { return m_; }
+    [[nodiscard]] double cell_side() const noexcept { return cell_side_; }
+    [[nodiscard]] std::size_t cell_count() const noexcept {
+        return static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_);
+    }
+
+    /// Cell containing point \p p (clamped to the square).
+    [[nodiscard]] cell_coord cell_of(vec2 p) const noexcept;
+
+    /// Linear id of the cell containing \p p.
+    [[nodiscard]] std::size_t cell_id_of(vec2 p) const noexcept {
+        return id_of(cell_of(p));
+    }
+
+    [[nodiscard]] std::size_t id_of(cell_coord c) const noexcept {
+        return static_cast<std::size_t>(c.cy) * static_cast<std::size_t>(m_) +
+               static_cast<std::size_t>(c.cx);
+    }
+
+    [[nodiscard]] cell_coord coord_of(std::size_t id) const noexcept {
+        return {static_cast<std::int32_t>(id % static_cast<std::size_t>(m_)),
+                static_cast<std::int32_t>(id / static_cast<std::size_t>(m_))};
+    }
+
+    [[nodiscard]] bool in_bounds(cell_coord c) const noexcept {
+        return c.cx >= 0 && c.cy >= 0 && c.cx < m_ && c.cy < m_;
+    }
+
+    /// Geometric extent of cell \p c.
+    [[nodiscard]] rect rect_of(cell_coord c) const;
+
+    /// The 4-neighbourhood (N/S/E/W) of \p c clipped to the grid — the
+    /// adjacency the paper's cell-to-cell propagation uses.
+    [[nodiscard]] std::vector<cell_coord> orthogonal_neighbors(cell_coord c) const;
+
+    /// The up-to-8 surrounding cells (used by range queries).
+    [[nodiscard]] std::vector<cell_coord> surrounding(cell_coord c) const;
+
+ private:
+    double side_;
+    std::int32_t m_;
+    double cell_side_;
+};
+
+}  // namespace manhattan::geom

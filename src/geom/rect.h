@@ -1,0 +1,69 @@
+/// \file rect.h
+/// Axis-aligned rectangle. Cells, cores, the support square and the rectangle
+/// "I" of Claim 17 are all rects.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/vec2.h"
+
+namespace manhattan::geom {
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+struct rect {
+    vec2 lo;
+    vec2 hi;
+
+    /// Throws if hi < lo in either coordinate.
+    static rect make(vec2 lo, vec2 hi) {
+        if (hi.x < lo.x || hi.y < lo.y) {
+            throw std::invalid_argument("rect::make: hi must dominate lo");
+        }
+        return rect{lo, hi};
+    }
+
+    /// The square [0,L] x [0,L] the agents live on.
+    static rect square(double side) { return make({0.0, 0.0}, {side, side}); }
+
+    [[nodiscard]] constexpr double width() const noexcept { return hi.x - lo.x; }
+    [[nodiscard]] constexpr double height() const noexcept { return hi.y - lo.y; }
+    [[nodiscard]] constexpr double area() const noexcept { return width() * height(); }
+    [[nodiscard]] constexpr vec2 center() const noexcept {
+        return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0};
+    }
+
+    [[nodiscard]] constexpr bool contains(vec2 p) const noexcept {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+    }
+
+    [[nodiscard]] constexpr bool intersects(const rect& o) const noexcept {
+        return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+    }
+
+    /// Nearest point of the rectangle to \p p (p itself when inside).
+    [[nodiscard]] vec2 clamp(vec2 p) const noexcept {
+        return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+    }
+
+    /// Rectangle shrunk towards its center so the result has side lengths
+    /// scaled by \p factor in (0, 1]. Used for cell *cores* (factor 1/3).
+    [[nodiscard]] rect shrunk(double factor) const {
+        if (factor <= 0.0 || factor > 1.0) {
+            throw std::invalid_argument("rect::shrunk: factor must be in (0,1]");
+        }
+        const vec2 c = center();
+        const double hw = width() * factor / 2.0;
+        const double hh = height() * factor / 2.0;
+        return rect{{c.x - hw, c.y - hh}, {c.x + hw, c.y + hh}};
+    }
+
+    /// Manhattan (L1) distance from point \p p to this rectangle, zero inside.
+    [[nodiscard]] double manhattan_distance_to(vec2 p) const noexcept {
+        const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+        const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+        return dx + dy;
+    }
+};
+
+}  // namespace manhattan::geom

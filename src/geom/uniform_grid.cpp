@@ -1,0 +1,54 @@
+#include "geom/uniform_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace manhattan::geom {
+
+uniform_grid::uniform_grid(double side, double min_bucket_side) : side_(side) {
+    if (!(side > 0.0) || !(min_bucket_side > 0.0)) {
+        throw std::invalid_argument("uniform_grid: side and bucket side must be positive");
+    }
+    m_ = std::max<std::int32_t>(1, static_cast<std::int32_t>(std::floor(side / min_bucket_side)));
+    bucket_side_ = side / m_;
+    offsets_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_) + 1, 0);
+}
+
+std::int32_t uniform_grid::bucket_index(double v) const noexcept {
+    const auto idx = static_cast<std::int32_t>(std::floor(v / bucket_side_));
+    return std::clamp(idx, std::int32_t{0}, m_ - 1);
+}
+
+void uniform_grid::rebuild(std::span<const vec2> positions) {
+    points_.assign(positions.begin(), positions.end());
+    const std::size_t bucket_count =
+        static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_);
+    offsets_.assign(bucket_count + 1, 0);
+    items_.resize(points_.size());
+
+    // Counting sort: count, prefix-sum, scatter.
+    std::vector<std::size_t> bucket_of(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        const std::size_t b =
+            static_cast<std::size_t>(bucket_index(points_[i].y)) * static_cast<std::size_t>(m_) +
+            static_cast<std::size_t>(bucket_index(points_[i].x));
+        bucket_of[i] = b;
+        ++offsets_[b + 1];
+    }
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+        offsets_[b + 1] += offsets_[b];
+    }
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        items_[cursor[bucket_of[i]]++] = static_cast<std::uint32_t>(i);
+    }
+}
+
+std::vector<std::uint32_t> uniform_grid::query(vec2 p, double r) const {
+    std::vector<std::uint32_t> out;
+    for_each_in_radius(p, r, [&](std::uint32_t idx) { out.push_back(idx); });
+    return out;
+}
+
+}  // namespace manhattan::geom

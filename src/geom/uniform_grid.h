@@ -1,0 +1,115 @@
+/// \file uniform_grid.h
+/// Bucketed spatial index over agent positions. Rebuilt once per simulated
+/// time step (counting sort, O(n)); answers "all agents within Euclidean
+/// distance r of p" by scanning the covering bucket rectangle. With bucket
+/// side ~= R this is the classic O(1 + local density) disk-graph query.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace manhattan::geom {
+
+/// Spatial hash over [0, side]^2 with square buckets.
+class uniform_grid {
+ public:
+    /// Buckets are chosen as the finest grid whose bucket side is at least
+    /// \p min_bucket_side (so a radius-r query with r <= min_bucket_side
+    /// touches at most 3x3 buckets). Throws if arguments are not positive.
+    uniform_grid(double side, double min_bucket_side);
+
+    /// Re-bin all positions. Indices reported by queries refer to positions
+    /// in this span. Positions are copied so the caller may mutate theirs.
+    void rebuild(std::span<const vec2> positions);
+
+    [[nodiscard]] double side() const noexcept { return side_; }
+    [[nodiscard]] double bucket_side() const noexcept { return bucket_side_; }
+    [[nodiscard]] std::int32_t buckets_per_side() const noexcept { return m_; }
+    [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+    /// Visit the index of every point with dist(point, p) <= r.
+    template <typename Fn>
+    void for_each_in_radius(vec2 p, double r, Fn&& fn) const {
+        const double r2 = r * r;
+        visit_buckets(p, r, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+                const std::uint32_t idx = items_[k];
+                if (dist2(points_[idx], p) <= r2) {
+                    fn(idx);
+                }
+            }
+        });
+    }
+
+    /// Like for_each_in_radius but stops as soon as \p fn returns true.
+    /// Returns whether any invocation returned true.
+    template <typename Fn>
+    [[nodiscard]] bool any_in_radius(vec2 p, double r, Fn&& fn) const {
+        const double r2 = r * r;
+        bool found = false;
+        visit_buckets_until(p, r, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+                const std::uint32_t idx = items_[k];
+                if (dist2(points_[idx], p) <= r2 && fn(idx)) {
+                    found = true;
+                    return true;
+                }
+            }
+            return false;
+        });
+        return found;
+    }
+
+    /// Indices of all points within distance r of p (allocating convenience).
+    [[nodiscard]] std::vector<std::uint32_t> query(vec2 p, double r) const;
+
+    /// The stored copy of the last rebuild's positions.
+    [[nodiscard]] std::span<const vec2> points() const noexcept { return points_; }
+
+ private:
+    [[nodiscard]] std::int32_t bucket_index(double v) const noexcept;
+
+    template <typename Fn>
+    void visit_buckets(vec2 p, double r, Fn&& fn) const {
+        const std::int32_t x0 = bucket_index(p.x - r);
+        const std::int32_t x1 = bucket_index(p.x + r);
+        const std::int32_t y0 = bucket_index(p.y - r);
+        const std::int32_t y1 = bucket_index(p.y + r);
+        for (std::int32_t by = y0; by <= y1; ++by) {
+            const std::size_t row = static_cast<std::size_t>(by) * static_cast<std::size_t>(m_);
+            for (std::int32_t bx = x0; bx <= x1; ++bx) {
+                const std::size_t b = row + static_cast<std::size_t>(bx);
+                fn(offsets_[b], offsets_[b + 1]);
+            }
+        }
+    }
+
+    template <typename Fn>
+    void visit_buckets_until(vec2 p, double r, Fn&& fn) const {
+        const std::int32_t x0 = bucket_index(p.x - r);
+        const std::int32_t x1 = bucket_index(p.x + r);
+        const std::int32_t y0 = bucket_index(p.y - r);
+        const std::int32_t y1 = bucket_index(p.y + r);
+        for (std::int32_t by = y0; by <= y1; ++by) {
+            const std::size_t row = static_cast<std::size_t>(by) * static_cast<std::size_t>(m_);
+            for (std::int32_t bx = x0; bx <= x1; ++bx) {
+                const std::size_t b = row + static_cast<std::size_t>(bx);
+                if (fn(offsets_[b], offsets_[b + 1])) {
+                    return;
+                }
+            }
+        }
+    }
+
+    double side_;
+    double bucket_side_;
+    std::int32_t m_;
+    std::vector<vec2> points_;
+    std::vector<std::size_t> offsets_;   // CSR offsets, size m*m+1
+    std::vector<std::uint32_t> items_;   // point indices grouped by bucket
+};
+
+}  // namespace manhattan::geom

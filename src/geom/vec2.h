@@ -1,0 +1,60 @@
+/// \file vec2.h
+/// 2-D point/vector type and the two metrics the paper uses: Euclidean
+/// (transmission range) and Manhattan (trip length / Suburb distance).
+#pragma once
+
+#include <cmath>
+
+namespace manhattan::geom {
+
+/// A 2-D point or displacement. Plain aggregate; value semantics throughout.
+struct vec2 {
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr vec2& operator+=(vec2 rhs) noexcept {
+        x += rhs.x;
+        y += rhs.y;
+        return *this;
+    }
+    constexpr vec2& operator-=(vec2 rhs) noexcept {
+        x -= rhs.x;
+        y -= rhs.y;
+        return *this;
+    }
+    constexpr vec2& operator*=(double s) noexcept {
+        x *= s;
+        y *= s;
+        return *this;
+    }
+
+    friend constexpr vec2 operator+(vec2 a, vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+    friend constexpr vec2 operator-(vec2 a, vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+    friend constexpr vec2 operator*(vec2 a, double s) noexcept { return {a.x * s, a.y * s}; }
+    friend constexpr vec2 operator*(double s, vec2 a) noexcept { return a * s; }
+    friend constexpr bool operator==(vec2 a, vec2 b) noexcept = default;
+};
+
+/// Squared Euclidean norm (cheaper than norm; used in range tests).
+[[nodiscard]] constexpr double norm2(vec2 a) noexcept { return a.x * a.x + a.y * a.y; }
+
+/// Euclidean norm.
+[[nodiscard]] inline double norm(vec2 a) noexcept { return std::sqrt(norm2(a)); }
+
+/// Squared Euclidean distance.
+[[nodiscard]] constexpr double dist2(vec2 a, vec2 b) noexcept { return norm2(a - b); }
+
+/// Euclidean distance (transmission-radius metric).
+[[nodiscard]] inline double dist(vec2 a, vec2 b) noexcept { return norm(a - b); }
+
+/// Manhattan (L1) distance — the length of every MRWP trip between a and b.
+[[nodiscard]] inline double manhattan_dist(vec2 a, vec2 b) noexcept {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Chebyshev (L-infinity) distance.
+[[nodiscard]] inline double chebyshev_dist(vec2 a, vec2 b) noexcept {
+    return std::fmax(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+}  // namespace manhattan::geom

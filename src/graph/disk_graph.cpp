@@ -1,0 +1,188 @@
+#include "graph/disk_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace manhattan::graph {
+
+disk_graph::disk_graph(std::span<const geom::vec2> points, double radius, double side) {
+    if (!(radius > 0.0) || !(side > 0.0)) {
+        throw std::invalid_argument("disk_graph: radius and side must be positive");
+    }
+    const std::size_t n = points.size();
+    offsets_.assign(n + 1, 0);
+    if (n == 0) {
+        return;
+    }
+
+    geom::uniform_grid grid(side, std::min(radius, side));
+    grid.rebuild(points);
+
+    // Two passes: count degrees, then fill (keeps memory at exactly CSR size).
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::size_t deg = 0;
+        grid.for_each_in_radius(points[i], radius, [&](std::uint32_t j) {
+            if (j != i) {
+                ++deg;
+            }
+        });
+        offsets_[i + 1] = deg;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        offsets_[i + 1] += offsets_[i];
+    }
+    adjacency_.resize(offsets_[n]);
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        grid.for_each_in_radius(points[i], radius, [&](std::uint32_t j) {
+            if (j != i) {
+                adjacency_[cursor[i]++] = j;
+            }
+        });
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]),
+                  adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[i + 1]));
+    }
+}
+
+std::span<const std::uint32_t> disk_graph::neighbors(std::uint32_t i) const {
+    if (i + 1 >= offsets_.size()) {
+        throw std::out_of_range("disk_graph::neighbors");
+    }
+    return {adjacency_.data() + offsets_[i], adjacency_.data() + offsets_[i + 1]};
+}
+
+std::vector<std::uint32_t> disk_graph::component_labels() const {
+    const std::size_t n = node_count();
+    constexpr std::uint32_t unvisited = ~std::uint32_t{0};
+    std::vector<std::uint32_t> label(n, unvisited);
+    std::uint32_t next = 0;
+    std::vector<std::uint32_t> stack;
+    for (std::uint32_t s = 0; s < n; ++s) {
+        if (label[s] != unvisited) {
+            continue;
+        }
+        label[s] = next;
+        stack.push_back(s);
+        while (!stack.empty()) {
+            const std::uint32_t u = stack.back();
+            stack.pop_back();
+            for (const std::uint32_t w : neighbors(u)) {
+                if (label[w] == unvisited) {
+                    label[w] = next;
+                    stack.push_back(w);
+                }
+            }
+        }
+        ++next;
+    }
+    return label;
+}
+
+graph_stats disk_graph::stats() const {
+    graph_stats st;
+    st.nodes = node_count();
+    st.edges = edge_count();
+    for (std::uint32_t i = 0; i < st.nodes; ++i) {
+        const std::size_t deg = degree(i);
+        st.max_degree = std::max(st.max_degree, deg);
+        if (deg == 0) {
+            ++st.isolated;
+        }
+    }
+    st.avg_degree = st.nodes > 0 ? 2.0 * static_cast<double>(st.edges) /
+                                       static_cast<double>(st.nodes)
+                                 : 0.0;
+    const auto labels = component_labels();
+    std::vector<std::size_t> sizes;
+    for (const std::uint32_t l : labels) {
+        if (l >= sizes.size()) {
+            sizes.resize(l + 1, 0);
+        }
+        ++sizes[l];
+    }
+    st.components = sizes.size();
+    st.giant_size = sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+    st.connected = st.components <= 1;
+    return st;
+}
+
+std::size_t disk_graph::bfs_eccentricity(std::uint32_t start) const {
+    const std::size_t n = node_count();
+    if (start >= n) {
+        throw std::out_of_range("disk_graph::bfs_eccentricity");
+    }
+    constexpr std::uint32_t unvisited = ~std::uint32_t{0};
+    std::vector<std::uint32_t> depth(n, unvisited);
+    std::deque<std::uint32_t> queue;
+    depth[start] = 0;
+    queue.push_back(start);
+    std::size_t ecc = 0;
+    while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        ecc = std::max<std::size_t>(ecc, depth[u]);
+        for (const std::uint32_t w : neighbors(u)) {
+            if (depth[w] == unvisited) {
+                depth[w] = depth[u] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return ecc;
+}
+
+std::size_t disk_graph::double_sweep_diameter() const {
+    const std::size_t n = node_count();
+    if (n == 0) {
+        return 0;
+    }
+    // Start inside the giant component.
+    const auto labels = component_labels();
+    std::vector<std::size_t> sizes;
+    for (const std::uint32_t l : labels) {
+        if (l >= sizes.size()) {
+            sizes.resize(l + 1, 0);
+        }
+        ++sizes[l];
+    }
+    const auto giant =
+        static_cast<std::uint32_t>(std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+    std::uint32_t start = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (labels[i] == giant) {
+            start = i;
+            break;
+        }
+    }
+
+    // First sweep: find the farthest vertex from start; second sweep from it.
+    constexpr std::uint32_t unvisited = ~std::uint32_t{0};
+    auto farthest = [&](std::uint32_t s) {
+        std::vector<std::uint32_t> depth(n, unvisited);
+        std::deque<std::uint32_t> queue;
+        depth[s] = 0;
+        queue.push_back(s);
+        std::uint32_t far = s;
+        while (!queue.empty()) {
+            const std::uint32_t u = queue.front();
+            queue.pop_front();
+            if (depth[u] > depth[far]) {
+                far = u;
+            }
+            for (const std::uint32_t w : neighbors(u)) {
+                if (depth[w] == unvisited) {
+                    depth[w] = depth[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        return std::pair{far, static_cast<std::size_t>(depth[far])};
+    };
+    const auto [far, _] = farthest(start);
+    return farthest(far).second;
+}
+
+}  // namespace manhattan::graph

@@ -1,0 +1,63 @@
+/// \file disk_graph.h
+/// The symmetric disk graph G_t of a MANET snapshot: vertices = agents, edges
+/// between agents within Euclidean distance R. Built in O(n + edges) via the
+/// uniform-grid spatial index; CSR adjacency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/uniform_grid.h"
+#include "geom/vec2.h"
+
+namespace manhattan::graph {
+
+/// Summary statistics of one snapshot graph (F.21 struct return).
+struct graph_stats {
+    std::size_t nodes = 0;
+    std::size_t edges = 0;
+    std::size_t isolated = 0;        ///< degree-0 vertices
+    std::size_t components = 0;
+    std::size_t giant_size = 0;      ///< largest component order
+    std::size_t max_degree = 0;
+    double avg_degree = 0.0;
+    bool connected = false;
+};
+
+/// Immutable CSR disk graph over a point snapshot.
+class disk_graph {
+ public:
+    /// Builds the graph over \p points with transmission radius \p radius on
+    /// the square [0, side]^2. Throws if radius or side are not positive.
+    disk_graph(std::span<const geom::vec2> points, double radius, double side);
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return offsets_.size() - 1; }
+    [[nodiscard]] std::size_t edge_count() const noexcept { return adjacency_.size() / 2; }
+
+    /// Neighbors of vertex i (sorted ascending).
+    [[nodiscard]] std::span<const std::uint32_t> neighbors(std::uint32_t i) const;
+
+    [[nodiscard]] std::size_t degree(std::uint32_t i) const {
+        return neighbors(i).size();
+    }
+
+    /// Component label (0..components-1) per vertex, via BFS.
+    [[nodiscard]] std::vector<std::uint32_t> component_labels() const;
+
+    /// Full summary (components computed internally).
+    [[nodiscard]] graph_stats stats() const;
+
+    /// Eccentricity of \p start within its component, by BFS (hop metric).
+    [[nodiscard]] std::size_t bfs_eccentricity(std::uint32_t start) const;
+
+    /// Lower bound on the hop diameter of the largest component via the
+    /// double-sweep heuristic (exact on trees, excellent in practice).
+    [[nodiscard]] std::size_t double_sweep_diameter() const;
+
+ private:
+    std::vector<std::size_t> offsets_;
+    std::vector<std::uint32_t> adjacency_;
+};
+
+}  // namespace manhattan::graph

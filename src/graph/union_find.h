@@ -1,0 +1,73 @@
+/// \file union_find.h
+/// Disjoint-set forest (path halving + union by size). Used for connected
+/// components of disk-graph snapshots and the per-component flooding mode.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace manhattan::graph {
+
+/// Disjoint-set union over elements 0..n-1.
+class union_find {
+ public:
+    explicit union_find(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+        std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+    }
+
+    [[nodiscard]] std::size_t element_count() const noexcept { return parent_.size(); }
+    [[nodiscard]] std::size_t component_count() const noexcept { return components_; }
+
+    /// Representative of i's component (path halving — amortised ~alpha(n)).
+    [[nodiscard]] std::uint32_t find(std::uint32_t i) noexcept {
+        while (parent_[i] != i) {
+            parent_[i] = parent_[parent_[i]];
+            i = parent_[i];
+        }
+        return i;
+    }
+
+    /// Merge the components of a and b; returns true if they were distinct.
+    bool unite(std::uint32_t a, std::uint32_t b) noexcept {
+        a = find(a);
+        b = find(b);
+        if (a == b) {
+            return false;
+        }
+        if (size_[a] < size_[b]) {
+            std::swap(a, b);
+        }
+        parent_[b] = a;
+        size_[a] += size_[b];
+        --components_;
+        return true;
+    }
+
+    [[nodiscard]] bool same(std::uint32_t a, std::uint32_t b) noexcept {
+        return find(a) == find(b);
+    }
+
+    /// Size of the component containing i.
+    [[nodiscard]] std::size_t component_size(std::uint32_t i) noexcept {
+        return size_[find(i)];
+    }
+
+    /// Size of the largest component.
+    [[nodiscard]] std::size_t giant_size() noexcept {
+        std::size_t best = 0;
+        for (std::uint32_t i = 0; i < parent_.size(); ++i) {
+            if (find(i) == i && size_[i] > best) {
+                best = size_[i];
+            }
+        }
+        return best;
+    }
+
+ private:
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::size_t> size_;
+    std::size_t components_;
+};
+
+}  // namespace manhattan::graph

@@ -1,0 +1,53 @@
+#include "mobility/factory.h"
+
+#include <stdexcept>
+
+#include "mobility/mrwp.h"
+#include "mobility/random_direction.h"
+#include "mobility/random_walk.h"
+#include "mobility/rwp.h"
+#include "mobility/static_model.h"
+
+namespace manhattan::mobility {
+
+std::shared_ptr<const mobility_model> make_model(model_kind kind, double side,
+                                                 model_options opts) {
+    switch (kind) {
+        case model_kind::mrwp:
+            return std::make_shared<manhattan_random_waypoint>(side);
+        case model_kind::rwp:
+            return std::make_shared<random_waypoint>(side);
+        case model_kind::random_walk: {
+            const double rho = opts.walk_step_radius > 0.0 ? opts.walk_step_radius : side / 10.0;
+            return std::make_shared<random_walk>(side, rho);
+        }
+        case model_kind::random_direction: {
+            const double leg = opts.direction_max_leg > 0.0 ? opts.direction_max_leg : side / 2.0;
+            return std::make_shared<random_direction>(side, leg);
+        }
+        case model_kind::static_agents:
+            return std::make_shared<static_model>(side);
+    }
+    throw std::invalid_argument("make_model: unknown model kind");
+}
+
+model_kind parse_model_kind(const std::string& name) {
+    if (name == "mrwp") {
+        return model_kind::mrwp;
+    }
+    if (name == "rwp") {
+        return model_kind::rwp;
+    }
+    if (name == "random_walk") {
+        return model_kind::random_walk;
+    }
+    if (name == "random_direction") {
+        return model_kind::random_direction;
+    }
+    if (name == "static") {
+        return model_kind::static_agents;
+    }
+    throw std::invalid_argument("parse_model_kind: unknown model '" + name + "'");
+}
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,29 @@
+/// \file factory.h
+/// String-keyed construction of mobility models (bench/example CLI surface).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mobility/model.h"
+
+namespace manhattan::mobility {
+
+/// The models the harness can instantiate.
+enum class model_kind { mrwp, rwp, random_walk, random_direction, static_agents };
+
+/// Tunables for the parameterised baselines; defaults scale with the side.
+struct model_options {
+    double walk_step_radius = 0.0;    ///< random_walk rho; 0 -> side/10
+    double direction_max_leg = 0.0;   ///< random_direction max leg; 0 -> side/2
+};
+
+/// Construct a model over [0, side]^2. Throws on invalid parameters.
+[[nodiscard]] std::shared_ptr<const mobility_model> make_model(model_kind kind, double side,
+                                                               model_options opts = {});
+
+/// Parse "mrwp" | "rwp" | "random_walk" | "random_direction" | "static".
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] model_kind parse_model_kind(const std::string& name);
+
+}  // namespace manhattan::mobility

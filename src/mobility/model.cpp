@@ -1,0 +1,54 @@
+#include "mobility/model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace manhattan::mobility {
+
+mobility_model::mobility_model(double side) : side_(side) {
+    if (!(side > 0.0)) {
+        throw std::invalid_argument("mobility_model: side must be positive");
+    }
+}
+
+advance_events advance(const mobility_model& model, trip_state& s, double distance,
+                       rng::rng& gen) {
+    advance_events events;
+    double budget = distance;
+    int consecutive_zero_legs = 0;
+    while (budget > 0.0) {
+        const double remaining = geom::dist(s.pos, s.waypoint);
+        if (remaining <= 0.0) {
+            // Degenerate leg. A pinned model (e.g. static_model) yields these
+            // forever; bail out after a few so advance() terminates for every
+            // model instead of spinning.
+            if (++consecutive_zero_legs > 4) {
+                return events;
+            }
+        } else {
+            consecutive_zero_legs = 0;
+        }
+        if (remaining > budget) {
+            // Finish mid-leg: move towards the waypoint by the full budget.
+            const double t = budget / remaining;
+            s.pos += (s.waypoint - s.pos) * t;
+            return events;
+        }
+        budget -= remaining;
+        s.pos = s.waypoint;
+        if (s.leg == 0) {
+            // Turn point reached; final leg begins.
+            s.leg = 1;
+            s.waypoint = s.dest;
+            ++events.turns;
+        } else {
+            // Destination reached; draw the next trip.
+            model.begin_trip(s, gen);
+            ++events.arrivals;
+            ++events.turns;
+        }
+    }
+    return events;
+}
+
+}  // namespace manhattan::mobility

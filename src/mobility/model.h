@@ -1,0 +1,54 @@
+/// \file model.h
+/// Abstract mobility model interface plus the shared advance() kinematics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "geom/vec2.h"
+#include "mobility/trip.h"
+#include "rng/rng.h"
+
+namespace manhattan::mobility {
+
+/// A trip-based mobility model over the square [0, side]^2.
+///
+/// Implementations must be stateless w.r.t. agents (all per-agent state lives
+/// in trip_state), so one model instance drives any number of agents and is
+/// safe to share across threads that own their own rngs.
+class mobility_model {
+ public:
+    virtual ~mobility_model() = default;
+
+    mobility_model(const mobility_model&) = delete;
+    mobility_model& operator=(const mobility_model&) = delete;
+
+    [[nodiscard]] double side() const noexcept { return side_; }
+
+    /// Draw an agent state from the model's stationary distribution (exact
+    /// for MRWP/RWP via length-biased trip sampling; documented approximation
+    /// for baselines — see exact_stationary_sampler()).
+    [[nodiscard]] virtual trip_state stationary_state(rng::rng& gen) const = 0;
+
+    /// Assign a fresh trip starting from s.pos (destination, turn point, leg).
+    virtual void begin_trip(trip_state& s, rng::rng& gen) const = 0;
+
+    /// Whether stationary_state() samples the *exact* stationary law.
+    [[nodiscard]] virtual bool exact_stationary_sampler() const noexcept { return true; }
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+    explicit mobility_model(double side);
+
+ private:
+    double side_;
+};
+
+/// Advance agent \p s along its trip by travel distance \p distance, drawing
+/// new trips from \p model as destinations are reached. Returns the turn /
+/// arrival events (used by the Lemma 13 harness).
+advance_events advance(const mobility_model& model, trip_state& s, double distance,
+                       rng::rng& gen);
+
+}  // namespace manhattan::mobility

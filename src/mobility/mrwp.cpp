@@ -1,0 +1,56 @@
+#include "mobility/mrwp.h"
+
+#include <cmath>
+
+namespace manhattan::mobility {
+
+void manhattan_random_waypoint::begin_trip(trip_state& s, rng::rng& gen) const {
+    const double side = this->side();
+    s.dest = {gen.uniform(0.0, side), gen.uniform(0.0, side)};
+    if (gen.coin()) {
+        s.waypoint = {s.pos.x, s.dest.y};  // P1: vertical leg first
+    } else {
+        s.waypoint = {s.dest.x, s.pos.y};  // P2: horizontal leg first
+    }
+    s.leg = 0;
+}
+
+manhattan_random_waypoint::biased_trip manhattan_random_waypoint::sample_length_biased_trip(
+    rng::rng& gen) const {
+    const double side = this->side();
+    // Rejection against the maximum Manhattan distance 2L; acceptance rate is
+    // E[|dx|+|dy|]/(2L) = (2L/3)/(2L) = 1/3.
+    for (;;) {
+        const geom::vec2 a{gen.uniform(0.0, side), gen.uniform(0.0, side)};
+        const geom::vec2 b{gen.uniform(0.0, side), gen.uniform(0.0, side)};
+        const double len = geom::manhattan_dist(a, b);
+        if (gen.uniform01() * 2.0 * side < len) {
+            return {a, b};
+        }
+    }
+}
+
+trip_state manhattan_random_waypoint::stationary_state(rng::rng& gen) const {
+    const auto [start, dest] = sample_length_biased_trip(gen);
+    const geom::vec2 turn =
+        gen.coin() ? geom::vec2{start.x, dest.y} : geom::vec2{dest.x, start.y};
+    const double len_first = geom::manhattan_dist(start, turn);
+    const double len_final = geom::manhattan_dist(turn, dest);
+    const double u = gen.uniform01() * (len_first + len_final);
+
+    trip_state s;
+    s.dest = dest;
+    if (u < len_first) {
+        s.leg = 0;
+        s.waypoint = turn;
+        s.pos = start + (turn - start) * (u / len_first);
+    } else {
+        s.leg = 1;
+        s.waypoint = dest;
+        const double along = u - len_first;
+        s.pos = (len_final > 0.0) ? turn + (dest - turn) * (along / len_final) : dest;
+    }
+    return s;
+}
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,40 @@
+/// \file mrwp.h
+/// The Manhattan Random-Way-Point model — Section 2 of the paper.
+///
+/// Every trip: draw a destination uniformly in the square, flip a fair coin
+/// between the two Manhattan shortest paths
+///     P1 = (x0,y0) -> (x0,y) -> (x,y)   (vertical leg first)
+///     P2 = (x0,y0) -> (x,y0) -> (x,y)   (horizontal leg first)
+/// and travel it at constant speed.
+///
+/// The stationary sampler implements *perfect simulation* by length-biased
+/// trip sampling (the Palm-calculus construction valid for every random-trip
+/// model): a stationary snapshot observes a trip with probability
+/// proportional to its duration, at a uniform point in time along it. This
+/// construction is independent of the paper's closed forms (Thms 1/2), which
+/// therefore act as falsifiable oracles in the test suite.
+#pragma once
+
+#include "mobility/model.h"
+
+namespace manhattan::mobility {
+
+/// MRWP mobility model.
+class manhattan_random_waypoint final : public mobility_model {
+ public:
+    explicit manhattan_random_waypoint(double side) : mobility_model(side) {}
+
+    [[nodiscard]] trip_state stationary_state(rng::rng& gen) const override;
+    void begin_trip(trip_state& s, rng::rng& gen) const override;
+    [[nodiscard]] std::string name() const override { return "mrwp"; }
+
+    /// Draw a (start, destination) pair length-biased by Manhattan distance:
+    /// density proportional to |dx|+|dy| over uniform^2. Exposed for tests.
+    struct biased_trip {
+        geom::vec2 start;
+        geom::vec2 dest;
+    };
+    [[nodiscard]] biased_trip sample_length_biased_trip(rng::rng& gen) const;
+};
+
+}  // namespace manhattan::mobility

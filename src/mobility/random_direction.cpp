@@ -1,0 +1,53 @@
+#include "mobility/random_direction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace manhattan::mobility {
+
+random_direction::random_direction(double side, double max_leg)
+    : mobility_model(side), max_leg_(max_leg) {
+    if (!(max_leg > 0.0)) {
+        throw std::invalid_argument("random_direction: max_leg must be positive");
+    }
+}
+
+void random_direction::begin_trip(trip_state& s, rng::rng& gen) const {
+    const double side = this->side();
+    const double theta = gen.uniform(0.0, 2.0 * std::numbers::pi);
+    const geom::vec2 dir{std::cos(theta), std::sin(theta)};
+    double len = gen.uniform01() * max_leg_;
+
+    // Truncate at the border: largest t >= 0 with pos + t*dir inside.
+    auto axis_limit = [](double p, double d, double hi) {
+        if (d > 0.0) {
+            return (hi - p) / d;
+        }
+        if (d < 0.0) {
+            return -p / d;
+        }
+        return std::numeric_limits<double>::infinity();
+    };
+    const double t_border =
+        std::min(axis_limit(s.pos.x, dir.x, side), axis_limit(s.pos.y, dir.y, side));
+    len = std::min(len, std::max(0.0, t_border));
+
+    s.dest = {std::clamp(s.pos.x + len * dir.x, 0.0, side),
+              std::clamp(s.pos.y + len * dir.y, 0.0, side)};
+    s.waypoint = s.dest;
+    s.leg = 1;
+}
+
+trip_state random_direction::stationary_state(rng::rng& gen) const {
+    const double side = this->side();
+    trip_state s;
+    s.pos = {gen.uniform(0.0, side), gen.uniform(0.0, side)};
+    begin_trip(s, gen);
+    s.pos += (s.dest - s.pos) * gen.uniform01();
+    return s;
+}
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,29 @@
+/// \file random_direction.h
+/// Random-Direction model: each trip picks a uniform heading and a uniform
+/// leg length in (0, max_leg]; the leg is truncated at the square border
+/// (border-stop variant). Near-uniform stationary distribution — a second
+/// uniform-class baseline alongside random_walk.
+#pragma once
+
+#include "mobility/model.h"
+
+namespace manhattan::mobility {
+
+/// Random-direction mobility model with border truncation.
+class random_direction final : public mobility_model {
+ public:
+    /// \p max_leg is the maximum leg length (0 < max_leg).
+    random_direction(double side, double max_leg);
+
+    [[nodiscard]] trip_state stationary_state(rng::rng& gen) const override;
+    void begin_trip(trip_state& s, rng::rng& gen) const override;
+    [[nodiscard]] bool exact_stationary_sampler() const noexcept override { return false; }
+    [[nodiscard]] std::string name() const override { return "random_direction"; }
+
+    [[nodiscard]] double max_leg() const noexcept { return max_leg_; }
+
+ private:
+    double max_leg_;
+};
+
+}  // namespace manhattan::mobility

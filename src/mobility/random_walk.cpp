@@ -1,0 +1,45 @@
+#include "mobility/random_walk.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace manhattan::mobility {
+
+random_walk::random_walk(double side, double step_radius)
+    : mobility_model(side), rho_(step_radius) {
+    if (!(step_radius > 0.0) || step_radius > side) {
+        throw std::invalid_argument("random_walk: need 0 < step_radius <= side");
+    }
+}
+
+void random_walk::begin_trip(trip_state& s, rng::rng& gen) const {
+    const double side = this->side();
+    // Uniform in disk(pos, rho) intersected with the square, by rejection.
+    // The square always contains at least a quarter-disk around any interior
+    // point (rho <= side), so acceptance is bounded below by ~1/4.
+    for (;;) {
+        const double r = rho_ * std::sqrt(gen.uniform01());
+        const double theta = gen.uniform(0.0, 2.0 * std::numbers::pi);
+        const geom::vec2 cand{s.pos.x + r * std::cos(theta), s.pos.y + r * std::sin(theta)};
+        if (cand.x >= 0.0 && cand.x <= side && cand.y >= 0.0 && cand.y <= side) {
+            s.dest = cand;
+            s.waypoint = cand;
+            s.leg = 1;
+            return;
+        }
+    }
+}
+
+trip_state random_walk::stationary_state(rng::rng& gen) const {
+    const double side = this->side();
+    trip_state s;
+    s.pos = {gen.uniform(0.0, side), gen.uniform(0.0, side)};
+    begin_trip(s, gen);
+    // Advance to a uniform point of the leg so agents are not all phase-
+    // aligned at trip starts.
+    s.pos += (s.dest - s.pos) * gen.uniform01();
+    return s;
+}
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,34 @@
+/// \file random_walk.h
+/// The bounded-step random-walk model of the authors' prior work ([10],[11]):
+/// each trip moves to a destination drawn uniformly from the radius-rho disk
+/// around the current position, intersected with the square. Its stationary
+/// spatial distribution is *almost uniform* — the foil against which the
+/// paper's highly non-uniform MRWP distribution is compared.
+#pragma once
+
+#include "mobility/model.h"
+
+namespace manhattan::mobility {
+
+/// Disk-step random-walk mobility model.
+class random_walk final : public mobility_model {
+ public:
+    /// \p step_radius is the walk's move radius rho (0 < rho <= side).
+    random_walk(double side, double step_radius);
+
+    [[nodiscard]] trip_state stationary_state(rng::rng& gen) const override;
+    void begin_trip(trip_state& s, rng::rng& gen) const override;
+
+    /// Uniform position + fresh trip: approximately stationary only (the
+    /// exact law has O(rho/L) boundary corrections). Experiments that need
+    /// exactness warm the walker up instead.
+    [[nodiscard]] bool exact_stationary_sampler() const noexcept override { return false; }
+    [[nodiscard]] std::string name() const override { return "random_walk"; }
+
+    [[nodiscard]] double step_radius() const noexcept { return rho_; }
+
+ private:
+    double rho_;
+};
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,33 @@
+#include "mobility/rwp.h"
+
+#include <cmath>
+
+namespace manhattan::mobility {
+
+void random_waypoint::begin_trip(trip_state& s, rng::rng& gen) const {
+    const double side = this->side();
+    s.dest = {gen.uniform(0.0, side), gen.uniform(0.0, side)};
+    s.waypoint = s.dest;
+    s.leg = 1;
+}
+
+trip_state random_waypoint::stationary_state(rng::rng& gen) const {
+    const double side = this->side();
+    const double max_len = std::sqrt(2.0) * side;
+    for (;;) {
+        const geom::vec2 a{gen.uniform(0.0, side), gen.uniform(0.0, side)};
+        const geom::vec2 b{gen.uniform(0.0, side), gen.uniform(0.0, side)};
+        const double len = geom::dist(a, b);
+        if (gen.uniform01() * max_len >= len) {
+            continue;
+        }
+        trip_state s;
+        s.dest = b;
+        s.waypoint = b;
+        s.leg = 1;
+        s.pos = (len > 0.0) ? a + (b - a) * gen.uniform01() : b;
+        return s;
+    }
+}
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,22 @@
+/// \file rwp.h
+/// Classic straight-line Random Way-Point (zero pause time) — the model the
+/// paper's introduction contrasts MRWP against. Trips are single straight
+/// legs to a uniform destination; the stationary sampler is exact
+/// (length-biased by Euclidean trip length).
+#pragma once
+
+#include "mobility/model.h"
+
+namespace manhattan::mobility {
+
+/// Straight-line RWP mobility model.
+class random_waypoint final : public mobility_model {
+ public:
+    explicit random_waypoint(double side) : mobility_model(side) {}
+
+    [[nodiscard]] trip_state stationary_state(rng::rng& gen) const override;
+    void begin_trip(trip_state& s, rng::rng& gen) const override;
+    [[nodiscard]] std::string name() const override { return "rwp"; }
+};
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,21 @@
+#include "mobility/static_model.h"
+
+namespace manhattan::mobility {
+
+void static_model::begin_trip(trip_state& s, rng::rng& /*gen*/) const {
+    s.dest = s.pos;
+    s.waypoint = s.pos;
+    s.leg = 1;
+}
+
+trip_state static_model::stationary_state(rng::rng& gen) const {
+    const double side = this->side();
+    trip_state s;
+    s.pos = {gen.uniform(0.0, side), gen.uniform(0.0, side)};
+    s.dest = s.pos;
+    s.waypoint = s.pos;
+    s.leg = 1;
+    return s;
+}
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,21 @@
+/// \file static_model.h
+/// Degenerate model whose agents never move. The paper's v -> 0 limit
+/// ("if v = 0, flooding never terminates whenever the Suburb is not empty");
+/// also handy in unit tests that need frozen geometry.
+#pragma once
+
+#include "mobility/model.h"
+
+namespace manhattan::mobility {
+
+/// Immobile agents, uniformly placed.
+class static_model final : public mobility_model {
+ public:
+    explicit static_model(double side) : mobility_model(side) {}
+
+    [[nodiscard]] trip_state stationary_state(rng::rng& gen) const override;
+    void begin_trip(trip_state& s, rng::rng& gen) const override;
+    [[nodiscard]] std::string name() const override { return "static"; }
+};
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,104 @@
+#include "mobility/trace.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace manhattan::mobility {
+
+trajectory_recorder::trajectory_recorder(std::size_t agent_count)
+    : agent_count_(agent_count) {
+    if (agent_count == 0) {
+        throw std::invalid_argument("trajectory_recorder: need at least one agent");
+    }
+}
+
+void trajectory_recorder::capture(const walker& w) {
+    capture(w.positions());
+}
+
+void trajectory_recorder::capture(std::span<const geom::vec2> positions) {
+    if (positions.size() != agent_count_) {
+        throw std::invalid_argument("trajectory_recorder: agent count mismatch");
+    }
+    buffer_.insert(buffer_.end(), positions.begin(), positions.end());
+    frames_ = true;
+}
+
+std::span<const geom::vec2> trajectory_recorder::frame(std::size_t frame) const {
+    if (frame >= frame_count()) {
+        throw std::out_of_range("trajectory_recorder::frame");
+    }
+    return {buffer_.data() + frame * agent_count_, agent_count_};
+}
+
+std::vector<geom::vec2> trajectory_recorder::path_of(std::size_t agent) const {
+    if (agent >= agent_count_) {
+        throw std::out_of_range("trajectory_recorder::path_of");
+    }
+    std::vector<geom::vec2> path;
+    path.reserve(frame_count());
+    for (std::size_t f = 0; f < frame_count(); ++f) {
+        path.push_back(buffer_[f * agent_count_ + agent]);
+    }
+    return path;
+}
+
+std::string trajectory_recorder::path_csv(std::size_t agent) const {
+    const auto path = path_of(agent);
+    std::string out = "frame,x,y\n";
+    for (std::size_t f = 0; f < path.size(); ++f) {
+        out += std::to_string(f);
+        out += ',';
+        out += std::to_string(path[f].x);
+        out += ',';
+        out += std::to_string(path[f].y);
+        out += '\n';
+    }
+    return out;
+}
+
+double trajectory_recorder::path_length(std::size_t agent) const {
+    const auto path = path_of(agent);
+    double total = 0.0;
+    for (std::size_t f = 1; f < path.size(); ++f) {
+        total += geom::dist(path[f - 1], path[f]);
+    }
+    return total;
+}
+
+double longest_inward_run(std::span<const geom::vec2> path, double side) {
+    if (path.size() < 2) {
+        return 0.0;
+    }
+    // Inward axis directions from the quadrant of the window's start point:
+    // SW quadrant -> East (+x) or North (+y) runs count; mirror the path into
+    // the SW quadrant so one rule covers all four.
+    const geom::vec2 start = path.front();
+    const double sx = start.x <= side / 2 ? 1.0 : -1.0;
+    const double sy = start.y <= side / 2 ? 1.0 : -1.0;
+
+    double best = 0.0;
+    double run_x = 0.0;
+    double run_y = 0.0;
+    for (std::size_t f = 1; f < path.size(); ++f) {
+        const double dx = sx * (path[f].x - path[f - 1].x);
+        const double dy = sy * (path[f].y - path[f - 1].y);
+        // A frame extends an axis run only if it moved (almost) purely along
+        // that axis in the inward direction; any other motion resets the run.
+        constexpr double slack = 1e-9;
+        if (dx > 0.0 && std::abs(dy) <= slack) {
+            run_x += dx;
+            run_y = 0.0;
+        } else if (dy > 0.0 && std::abs(dx) <= slack) {
+            run_y += dy;
+            run_x = 0.0;
+        } else {
+            run_x = 0.0;
+            run_y = 0.0;
+        }
+        best = std::fmax(best, std::fmax(run_x, run_y));
+    }
+    return best;
+}
+
+}  // namespace manhattan::mobility

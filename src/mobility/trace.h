@@ -1,0 +1,67 @@
+/// \file trace.h
+/// Trajectory recording: dense per-step position history of a walker
+/// population. Used by the temporal-reachability oracle (an independent
+/// re-derivation of flooding times), by the Lemma 14 "good segment" harness,
+/// and for CSV export of agent paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "mobility/walker.h"
+
+namespace manhattan::mobility {
+
+/// Dense (steps+1) x n position history. Frame 0 is the state at recording
+/// start; frame t is the state after t recorded steps.
+class trajectory_recorder {
+ public:
+    /// Prepares a recorder for \p agent_count agents. Throws if zero.
+    explicit trajectory_recorder(std::size_t agent_count);
+
+    /// Record the walker's current positions as the next frame. The walker
+    /// must have exactly agent_count() agents.
+    void capture(const walker& w);
+
+    /// Record a raw position snapshot (test fixtures).
+    void capture(std::span<const geom::vec2> positions);
+
+    [[nodiscard]] std::size_t agent_count() const noexcept { return agent_count_; }
+
+    /// Number of captured frames (0 before the first capture()).
+    [[nodiscard]] std::size_t frame_count() const noexcept {
+        return frames_ ? buffer_.size() / agent_count_ : 0;
+    }
+
+    /// Positions of all agents in frame \p frame (0-based). Throws if out of
+    /// range.
+    [[nodiscard]] std::span<const geom::vec2> frame(std::size_t frame) const;
+
+    /// The path of one agent across all frames (copied).
+    [[nodiscard]] std::vector<geom::vec2> path_of(std::size_t agent) const;
+
+    /// CSV of one agent's path: lines "frame,x,y".
+    [[nodiscard]] std::string path_csv(std::size_t agent) const;
+
+    /// Total Euclidean path length of one agent across recorded frames.
+    [[nodiscard]] double path_length(std::size_t agent) const;
+
+ private:
+    std::size_t agent_count_;
+    bool frames_ = false;
+    std::vector<geom::vec2> buffer_;  // frame-major
+};
+
+/// The longest axis-aligned displacement towards the Central Zone performed
+/// by an agent within a recorded window — the quantity of Lemma 14. For an
+/// agent in the SW quadrant, "towards" means increasing x (East) or
+/// increasing y (North); the other quadrants are handled by symmetry.
+///
+/// Returns the maximal single-direction run length: consecutive frames moving
+/// monotonically in the same inward axis direction.
+[[nodiscard]] double longest_inward_run(std::span<const geom::vec2> path, double side);
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,36 @@
+/// \file trip.h
+/// The per-agent kinematic state shared by every mobility model.
+///
+/// All models in this library are *trip-based* (the Random Trip framework of
+/// Le Boudec & Vojnovic): an agent repeatedly draws a trip and follows it at
+/// constant speed. A trip is at most two straight legs:
+///   leg 0: pos -> waypoint (the Manhattan turn point; absent for
+///          straight-line models),
+///   leg 1: waypoint -> dest (the final leg).
+#pragma once
+
+#include <cstdint>
+
+#include "geom/vec2.h"
+
+namespace manhattan::mobility {
+
+/// Kinematic state of one agent.
+struct trip_state {
+    geom::vec2 pos;       ///< current position
+    geom::vec2 waypoint;  ///< end of the current leg (== dest on the final leg)
+    geom::vec2 dest;      ///< final destination of the current trip
+    std::uint8_t leg = 1; ///< 0 = first leg (pre-turn), 1 = final leg
+
+    /// True when the agent is on the final leg of its trip. The paper's
+    /// Theorem 2 "cross mass = 1/2" is exactly P(on_final_leg | position).
+    [[nodiscard]] constexpr bool on_final_leg() const noexcept { return leg == 1; }
+};
+
+/// What happened while advancing an agent; returned by value (F.21).
+struct advance_events {
+    std::uint32_t turns = 0;     ///< direction changes (waypoint passages, Lemma 13)
+    std::uint32_t arrivals = 0;  ///< completed trips (new destination drawn)
+};
+
+}  // namespace manhattan::mobility

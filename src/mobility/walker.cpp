@@ -1,0 +1,70 @@
+#include "mobility/walker.h"
+
+#include <stdexcept>
+
+namespace manhattan::mobility {
+
+walker::walker(std::shared_ptr<const mobility_model> model, std::size_t n, double speed,
+               rng::rng gen, start_mode start)
+    : model_(std::move(model)), speed_(speed), gen_(gen) {
+    if (!model_) {
+        throw std::invalid_argument("walker: model must not be null");
+    }
+    if (n == 0) {
+        throw std::invalid_argument("walker: need at least one agent");
+    }
+    if (speed < 0.0) {
+        throw std::invalid_argument("walker: speed must be non-negative");
+    }
+    agents_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (start == start_mode::stationary) {
+            agents_.push_back(model_->stationary_state(gen_));
+        } else {
+            trip_state s;
+            s.pos = {gen_.uniform(0.0, model_->side()), gen_.uniform(0.0, model_->side())};
+            model_->begin_trip(s, gen_);
+            agents_.push_back(s);
+        }
+    }
+    turn_counts_.assign(n, 0);
+    arrival_counts_.assign(n, 0);
+    positions_.resize(n);
+    refresh_positions();
+}
+
+void walker::step() {
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        const advance_events ev = advance(*model_, agents_[i], speed_, gen_);
+        turn_counts_[i] += ev.turns;
+        arrival_counts_[i] += ev.arrivals;
+    }
+    ++steps_;
+    refresh_positions();
+}
+
+void walker::advance_time(double duration) {
+    if (duration < 0.0) {
+        throw std::invalid_argument("walker::advance_time: duration must be non-negative");
+    }
+    const double distance = duration * speed_;
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        const advance_events ev = advance(*model_, agents_[i], distance, gen_);
+        turn_counts_[i] += ev.turns;
+        arrival_counts_[i] += ev.arrivals;
+    }
+    refresh_positions();
+}
+
+void walker::set_agent(std::size_t i, const trip_state& s) {
+    agents_.at(i) = s;
+    positions_.at(i) = s.pos;
+}
+
+void walker::refresh_positions() {
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        positions_[i] = agents_[i].pos;
+    }
+}
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,74 @@
+/// \file walker.h
+/// The population driver: n agents sharing one mobility model, advanced in
+/// lockstep by one speed-v step at a time (the paper's discrete time unit).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mobility/model.h"
+#include "mobility/trip.h"
+#include "rng/rng.h"
+
+namespace manhattan::mobility {
+
+/// How walker seeds the initial agent states.
+enum class start_mode {
+    stationary,     ///< model::stationary_state (perfect simulation where exact)
+    uniform_fresh,  ///< uniform position + fresh trip (pre-stationary; for warm-up studies)
+};
+
+/// A population of n agents moving per a shared mobility model.
+class walker {
+ public:
+    /// Throws if n == 0 or speed < 0.
+    walker(std::shared_ptr<const mobility_model> model, std::size_t n, double speed,
+           rng::rng gen, start_mode start = start_mode::stationary);
+
+    /// Advance every agent by one time unit (travel distance = speed).
+    void step();
+
+    /// Advance every agent by \p duration time units without per-step
+    /// bookkeeping (used to warm a non-exact sampler into stationarity;
+    /// O(#trips), not O(#steps)).
+    void advance_time(double duration);
+
+    [[nodiscard]] std::size_t size() const noexcept { return agents_.size(); }
+    [[nodiscard]] double speed() const noexcept { return speed_; }
+    [[nodiscard]] const mobility_model& model() const noexcept { return *model_; }
+    [[nodiscard]] std::uint64_t steps_taken() const noexcept { return steps_; }
+
+    /// Positions of all agents, contiguous (index-aligned with agent ids).
+    [[nodiscard]] std::span<const geom::vec2> positions() const noexcept { return positions_; }
+
+    [[nodiscard]] const trip_state& agent(std::size_t i) const { return agents_.at(i); }
+
+    /// Cumulative direction changes per agent since construction (Lemma 13).
+    [[nodiscard]] std::span<const std::uint64_t> turn_counts() const noexcept {
+        return turn_counts_;
+    }
+
+    /// Cumulative completed trips per agent since construction.
+    [[nodiscard]] std::span<const std::uint64_t> arrival_counts() const noexcept {
+        return arrival_counts_;
+    }
+
+    /// Overwrite one agent's state (test/fixture injection).
+    void set_agent(std::size_t i, const trip_state& s);
+
+ private:
+    void refresh_positions();
+
+    std::shared_ptr<const mobility_model> model_;
+    double speed_;
+    rng::rng gen_;
+    std::vector<trip_state> agents_;
+    std::vector<geom::vec2> positions_;
+    std::vector<std::uint64_t> turn_counts_;
+    std::vector<std::uint64_t> arrival_counts_;
+    std::uint64_t steps_ = 0;
+};
+
+}  // namespace manhattan::mobility

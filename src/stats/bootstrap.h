@@ -1,0 +1,38 @@
+/// \file bootstrap.h
+/// Resampling-based confidence intervals and the two-sample
+/// Kolmogorov-Smirnov statistic — used where no closed-form reference
+/// distribution exists (e.g. comparing two mobility models' flooding-time
+/// samples, or stationarity of the RWP baseline).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rng/rng.h"
+
+namespace manhattan::stats {
+
+/// A two-sided confidence interval (F.21 struct return).
+struct interval {
+    double lo = 0.0;
+    double hi = 0.0;
+
+    [[nodiscard]] constexpr bool contains(double v) const noexcept {
+        return v >= lo && v <= hi;
+    }
+};
+
+/// Percentile-bootstrap CI of the sample mean at confidence \p confidence
+/// (e.g. 0.95). Throws on an empty sample or confidence outside (0,1).
+[[nodiscard]] interval bootstrap_mean_ci(std::span<const double> sample, double confidence,
+                                         std::size_t resamples, rng::rng& gen);
+
+/// Two-sample KS statistic sup_x |F_a(x) - F_b(x)|. Throws if either sample
+/// is empty.
+[[nodiscard]] double two_sample_ks(std::span<const double> a, std::span<const double> b);
+
+/// Acceptance threshold for the two-sample KS statistic at alpha ~ 1e-3:
+/// c(alpha) sqrt((n+m)/(n m)).
+[[nodiscard]] double two_sample_ks_critical(std::size_t n, std::size_t m);
+
+}  // namespace manhattan::stats

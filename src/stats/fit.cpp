@@ -1,0 +1,64 @@
+#include "stats/fit.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace manhattan::stats {
+
+linear_fit_result linear_fit(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size()) {
+        throw std::invalid_argument("linear_fit: size mismatch");
+    }
+    if (xs.size() < 2) {
+        throw std::invalid_argument("linear_fit: need at least two points");
+    }
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0.0;
+    double sy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (!(sxx > 0.0)) {
+        throw std::invalid_argument("linear_fit: xs are all identical");
+    }
+    linear_fit_result fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+    return fit;
+}
+
+power_fit_result power_fit(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size()) {
+        throw std::invalid_argument("power_fit: size mismatch");
+    }
+    std::vector<double> lx;
+    std::vector<double> ly;
+    lx.reserve(xs.size());
+    ly.reserve(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (!(xs[i] > 0.0) || !(ys[i] > 0.0)) {
+            throw std::invalid_argument("power_fit: values must be strictly positive");
+        }
+        lx.push_back(std::log(xs[i]));
+        ly.push_back(std::log(ys[i]));
+    }
+    const linear_fit_result lin = linear_fit(lx, ly);
+    return {std::exp(lin.intercept), lin.slope, lin.r2};
+}
+
+}  // namespace manhattan::stats

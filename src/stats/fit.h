@@ -1,0 +1,33 @@
+/// \file fit.h
+/// Least-squares fits used to extract scaling laws from experiment series
+/// (e.g. "flooding time is affine in 1/v with slope ~ S" for Theorem 3).
+#pragma once
+
+#include <span>
+
+namespace manhattan::stats {
+
+/// y ~= intercept + slope * x with coefficient of determination r2.
+struct linear_fit_result {
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r2 = 0.0;
+};
+
+/// Ordinary least squares. Throws unless xs.size() == ys.size() >= 2 and the
+/// xs are not all identical.
+[[nodiscard]] linear_fit_result linear_fit(std::span<const double> xs,
+                                           std::span<const double> ys);
+
+/// y ~= coefficient * x^exponent, fitted as a linear fit in log-log space.
+/// Requires strictly positive xs and ys.
+struct power_fit_result {
+    double coefficient = 0.0;
+    double exponent = 0.0;
+    double r2 = 0.0;  ///< of the underlying log-log linear fit
+};
+
+[[nodiscard]] power_fit_result power_fit(std::span<const double> xs,
+                                         std::span<const double> ys);
+
+}  // namespace manhattan::stats

@@ -1,0 +1,77 @@
+#include "stats/gof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace manhattan::stats {
+
+double chi_square_statistic(std::span<const std::uint64_t> observed,
+                            std::span<const double> expected_mass) {
+    if (observed.size() != expected_mass.size()) {
+        throw std::invalid_argument("chi_square_statistic: size mismatch");
+    }
+    if (observed.size() < 2) {
+        throw std::invalid_argument("chi_square_statistic: need at least two bins");
+    }
+    std::uint64_t total = 0;
+    for (const std::uint64_t o : observed) {
+        total += o;
+    }
+    double stat = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        if (!(expected_mass[i] > 0.0)) {
+            throw std::invalid_argument("chi_square_statistic: expected mass must be positive");
+        }
+        const double e = static_cast<double>(total) * expected_mass[i];
+        const double d = static_cast<double>(observed[i]) - e;
+        stat += d * d / e;
+    }
+    return stat;
+}
+
+double chi_square_critical(std::size_t dof) {
+    // Laurent & Massart (2000): P(X >= dof + 2 sqrt(dof x) + 2x) <= exp(-x).
+    const double x = std::log(1000.0);
+    const double d = static_cast<double>(dof);
+    return d + 2.0 * std::sqrt(d * x) + 2.0 * x;
+}
+
+double ks_statistic(std::span<const double> sample,
+                    const std::function<double(double)>& cdf) {
+    if (sample.empty()) {
+        throw std::invalid_argument("ks_statistic: empty sample");
+    }
+    std::vector<double> sorted(sample.begin(), sample.end());
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = static_cast<double>(sorted.size());
+    double stat = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double f = cdf(sorted[i]);
+        const double lo = static_cast<double>(i) / n;
+        const double hi = static_cast<double>(i + 1) / n;
+        stat = std::max({stat, std::abs(f - lo), std::abs(f - hi)});
+    }
+    return stat;
+}
+
+double ks_critical(std::size_t sample_size) {
+    // c(alpha) = sqrt(-ln(alpha/2)/2); alpha = 1e-3 -> ~1.95.
+    const double c = std::sqrt(-std::log(0.0005) / 2.0);
+    return c / std::sqrt(static_cast<double>(sample_size));
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+    if (p.size() != q.size()) {
+        throw std::invalid_argument("total_variation: size mismatch");
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        acc += std::abs(p[i] - q[i]);
+    }
+    return acc / 2.0;
+}
+
+}  // namespace manhattan::stats

@@ -1,0 +1,36 @@
+/// \file gof.h
+/// Goodness-of-fit statistics: Pearson chi-square against expected bin masses
+/// and one-sample Kolmogorov-Smirnov against an arbitrary cdf. These decide
+/// whether the simulator's empirical laws match the paper's closed forms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace manhattan::stats {
+
+/// Pearson chi-square statistic: sum (O_i - E_i)^2 / E_i, where
+/// E_i = total * expected_mass[i]. Throws if sizes mismatch, expected masses
+/// are non-positive, or there are fewer than 2 bins.
+[[nodiscard]] double chi_square_statistic(std::span<const std::uint64_t> observed,
+                                          std::span<const double> expected_mass);
+
+/// Conservative threshold for the chi-square statistic with \p dof degrees of
+/// freedom at significance ~1e-3: the Laurent-Massart upper tail bound
+/// dof + 2 sqrt(dof x) + 2x with x = ln(1000). No lookup tables needed.
+[[nodiscard]] double chi_square_critical(std::size_t dof);
+
+/// One-sample KS statistic sup_x |F_n(x) - F(x)| of \p sample against cdf F.
+/// The sample is copied and sorted internally. Throws on an empty sample.
+[[nodiscard]] double ks_statistic(std::span<const double> sample,
+                                  const std::function<double(double)>& cdf);
+
+/// KS acceptance threshold c(alpha)/sqrt(n) with c ~= 1.95 (alpha ~ 0.001).
+[[nodiscard]] double ks_critical(std::size_t sample_size);
+
+/// Total-variation distance between two discrete distributions given as
+/// masses (each should sum to ~1). Throws if sizes mismatch.
+[[nodiscard]] double total_variation(std::span<const double> p, std::span<const double> q);
+
+}  // namespace manhattan::stats

@@ -1,0 +1,43 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace manhattan::stats {
+
+histogram1d::histogram1d(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    if (!(lo < hi)) {
+        throw std::invalid_argument("histogram1d: need lo < hi");
+    }
+    if (bins == 0) {
+        throw std::invalid_argument("histogram1d: need at least one bin");
+    }
+}
+
+void histogram1d::add(double value) noexcept {
+    auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+double histogram1d::bin_center(std::size_t bin) const {
+    if (bin >= counts_.size()) {
+        throw std::out_of_range("histogram1d::bin_center");
+    }
+    return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double histogram1d::pdf(std::size_t bin) const {
+    if (bin >= counts_.size()) {
+        throw std::out_of_range("histogram1d::pdf");
+    }
+    if (total_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(counts_[bin]) / (static_cast<double>(total_) * width_);
+}
+
+}  // namespace manhattan::stats

@@ -1,0 +1,45 @@
+/// \file histogram.h
+/// Uniform-bin 1-D histogram, the accumulator behind the empirical-vs-
+/// closed-form distribution checks (Theorems 1/2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace manhattan::stats {
+
+/// Fixed-range, uniform-bin counting histogram.
+class histogram1d {
+ public:
+    /// Throws unless lo < hi and bins >= 1.
+    histogram1d(double lo, double hi, std::size_t bins);
+
+    /// Count a value; out-of-range values are clamped into the edge bins.
+    void add(double value) noexcept;
+
+    [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    [[nodiscard]] double lo() const noexcept { return lo_; }
+    [[nodiscard]] double hi() const noexcept { return hi_; }
+    [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+    /// Center of bin \p bin.
+    [[nodiscard]] double bin_center(std::size_t bin) const;
+
+    /// Empirical pdf value of bin \p bin: count / (total * bin_width).
+    [[nodiscard]] double pdf(std::size_t bin) const;
+
+    /// Raw counts view.
+    [[nodiscard]] std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+ private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace manhattan::stats

@@ -1,0 +1,70 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace manhattan::stats {
+
+double mean(std::span<const double> sample) {
+    if (sample.empty()) {
+        throw std::invalid_argument("mean: empty sample");
+    }
+    double acc = 0.0;
+    for (const double v : sample) {
+        acc += v;
+    }
+    return acc / static_cast<double>(sample.size());
+}
+
+double percentile(std::span<const double> sample, double q) {
+    if (sample.empty()) {
+        throw std::invalid_argument("percentile: empty sample");
+    }
+    if (q < 0.0 || q > 1.0) {
+        throw std::invalid_argument("percentile: q must be in [0,1]");
+    }
+    std::vector<double> sorted(sample.begin(), sample.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double idx = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+summary summarize(std::span<const double> sample) {
+    if (sample.empty()) {
+        throw std::invalid_argument("summarize: empty sample");
+    }
+    std::vector<double> sorted(sample.begin(), sample.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    summary s;
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.mean = mean(sorted);
+
+    double ss = 0.0;
+    for (const double v : sorted) {
+        ss += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = sorted.size() > 1
+                   ? std::sqrt(ss / static_cast<double>(sorted.size() - 1))
+                   : 0.0;
+
+    auto interp = [&](double q) {
+        const double idx = q * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::size_t>(idx);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = idx - static_cast<double>(lo);
+        return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    };
+    s.median = interp(0.5);
+    s.p25 = interp(0.25);
+    s.p75 = interp(0.75);
+    return s;
+}
+
+}  // namespace manhattan::stats

@@ -1,0 +1,32 @@
+/// \file summary.h
+/// Order statistics and moments of a sample — the per-row aggregates every
+/// experiment table reports (mean flooding time over seeds, etc.).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace manhattan::stats {
+
+/// Five-number-plus summary of a sample (F.21 struct return).
+struct summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double p25 = 0.0;
+    double p75 = 0.0;
+};
+
+/// Compute a summary. Throws on an empty sample.
+[[nodiscard]] summary summarize(std::span<const double> sample);
+
+/// Linear-interpolated percentile, q in [0,1]. Throws on empty sample.
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+/// Mean of a sample; throws on empty sample.
+[[nodiscard]] double mean(std::span<const double> sample);
+
+}  // namespace manhattan::stats

@@ -1,0 +1,58 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace manhattan::util {
+
+cli_args::cli_args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            throw std::invalid_argument("cli_args: expected --key=value, got '" + arg + "'");
+        }
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            values_[arg.substr(2)] = "1";
+        } else {
+            values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+    }
+}
+
+bool cli_args::has(const std::string& key) const {
+    return values_.count(key) > 0;
+}
+
+long long cli_args::get_int(const std::string& key, long long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    return std::stoll(it->second);
+}
+
+double cli_args::get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    return std::stod(it->second);
+}
+
+std::string cli_args::get_string(const std::string& key, std::string fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    return it->second;
+}
+
+bool cli_args::get_bool(const std::string& key, bool fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+        return fallback;
+    }
+    return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+}  // namespace manhattan::util

@@ -1,0 +1,30 @@
+/// \file cli.h
+/// Minimal `--key=value` command-line parsing for the bench/example binaries.
+/// Every experiment binary accepts overrides such as `--n=20000 --seed=7`.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace manhattan::util {
+
+/// Parses arguments of the form `--key=value` or bare `--flag` (value "1").
+/// Unknown positional arguments raise `std::invalid_argument` so typos in
+/// sweep scripts fail loudly instead of silently running the default.
+class cli_args {
+ public:
+    cli_args(int argc, const char* const* argv);
+
+    [[nodiscard]] bool has(const std::string& key) const;
+
+    /// Typed getters returning \p fallback when the key is absent.
+    [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
+    [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+    [[nodiscard]] std::string get_string(const std::string& key, std::string fallback) const;
+    [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace manhattan::util

@@ -1,0 +1,88 @@
+#include "util/heatmap.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace manhattan::util {
+
+heatmap::heatmap(std::size_t rows, std::size_t cols, double initial)
+    : rows_(rows), cols_(cols), cells_(rows * cols, initial) {
+    if (rows == 0 || cols == 0) {
+        throw std::invalid_argument("heatmap: dimensions must be positive");
+    }
+}
+
+double& heatmap::at(std::size_t row, std::size_t col) {
+    if (row >= rows_ || col >= cols_) {
+        throw std::out_of_range("heatmap::at");
+    }
+    return cells_[row * cols_ + col];
+}
+
+double heatmap::at(std::size_t row, std::size_t col) const {
+    if (row >= rows_ || col >= cols_) {
+        throw std::out_of_range("heatmap::at");
+    }
+    return cells_[row * cols_ + col];
+}
+
+void heatmap::deposit(std::size_t row, std::size_t col, double amount) {
+    at(row, col) += amount;
+}
+
+double heatmap::min_value() const noexcept {
+    return *std::min_element(cells_.begin(), cells_.end());
+}
+
+double heatmap::max_value() const noexcept {
+    return *std::max_element(cells_.begin(), cells_.end());
+}
+
+void heatmap::scale(double factor) noexcept {
+    for (double& c : cells_) {
+        c *= factor;
+    }
+}
+
+std::string heatmap::ascii(bool dark_is_max) const {
+    // 10-step ramp from light to dark.
+    static constexpr char ramp[] = {' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'};
+    constexpr std::size_t ramp_size = sizeof(ramp);
+
+    const double lo = min_value();
+    const double hi = max_value();
+    const double span = (hi > lo) ? (hi - lo) : 1.0;
+
+    std::string out;
+    out.reserve((cols_ + 1) * rows_);
+    for (std::size_t r = rows_; r-- > 0;) {  // top row first
+        for (std::size_t c = 0; c < cols_; ++c) {
+            double t = (cells_[r * cols_ + c] - lo) / span;
+            if (!dark_is_max) {
+                t = 1.0 - t;
+            }
+            auto idx = static_cast<std::size_t>(t * (ramp_size - 1) + 0.5);
+            idx = std::min(idx, ramp_size - 1);
+            out += ramp[idx];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string heatmap::csv() const {
+    std::string out;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (c != 0) {
+                out += ',';
+            }
+            out += std::to_string(cells_[r * cols_ + c]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace manhattan::util

@@ -1,0 +1,49 @@
+/// \file heatmap.h
+/// ASCII heatmap rendering. Used to reproduce the paper's Fig. 1 (spatial
+/// density in shades of gray, destination cross) on a terminal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace manhattan::util {
+
+/// A dense row-major matrix of doubles with rendering helpers.
+///
+/// Row 0 is the *bottom* row when rendered (matches the paper's coordinate
+/// system where (0,0) is the square's SW corner).
+class heatmap {
+ public:
+    heatmap(std::size_t rows, std::size_t cols, double initial = 0.0);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    [[nodiscard]] double& at(std::size_t row, std::size_t col);
+    [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+    /// Add \p amount to cell (row, col).
+    void deposit(std::size_t row, std::size_t col, double amount);
+
+    [[nodiscard]] double min_value() const noexcept;
+    [[nodiscard]] double max_value() const noexcept;
+
+    /// Multiply every cell by \p factor (e.g. to normalise counts to a pdf).
+    void scale(double factor) noexcept;
+
+    /// Render with a 10-step grayscale ramp, darkest = max (as in Fig. 1 the
+    /// paper renders black = maximum density). One character per cell, top
+    /// row printed first.
+    [[nodiscard]] std::string ascii(bool dark_is_max = true) const;
+
+    /// Render as CSV (row per line, bottom row last, i.e. matrix order).
+    [[nodiscard]] std::string csv() const;
+
+ private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> cells_;
+};
+
+}  // namespace manhattan::util

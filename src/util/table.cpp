@@ -1,0 +1,142 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace manhattan::util {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void table::set_headers(std::vector<std::string> headers) {
+    headers_ = std::move(headers);
+}
+
+void table::add_row(std::vector<std::string> cells) {
+    if (cells.size() > headers_.size()) {
+        throw std::invalid_argument("table::add_row: more cells than headers");
+    }
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(const std::vector<std::string>& headers,
+                                       const std::vector<std::vector<std::string>>& rows) {
+    std::vector<std::size_t> widths(headers.size(), 0);
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        widths[c] = headers[c].size();
+    }
+    for (const auto& row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    return widths;
+}
+
+void append_padded(std::string& out, const std::string& cell, std::size_t width, align a) {
+    const std::size_t pad = width > cell.size() ? width - cell.size() : 0;
+    if (a == align::right) {
+        out.append(pad, ' ');
+        out += cell;
+    } else {
+        out += cell;
+        out.append(pad, ' ');
+    }
+}
+
+std::string csv_escape(const std::string& cell) {
+    const bool needs_quote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) {
+        return cell;
+    }
+    std::string out = "\"";
+    for (const char ch : cell) {
+        if (ch == '"') {
+            out += "\"\"";
+        } else {
+            out += ch;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+std::string table::markdown(align a) const {
+    const auto widths = column_widths(headers_, rows_);
+    std::string out;
+    out += "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        out += ' ';
+        append_padded(out, headers_[c], widths[c], a);
+        out += " |";
+    }
+    out += '\n';
+    out += "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (a == align::right) {
+            out += std::string(widths[c] + 1, '-') + ":|";
+        } else {
+            out += std::string(widths[c] + 2, '-') + "|";
+        }
+    }
+    out += '\n';
+    for (const auto& row : rows_) {
+        out += "|";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            out += ' ';
+            append_padded(out, row[c], widths[c], a);
+            out += " |";
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string table::csv() const {
+    std::string out;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c != 0) {
+            out += ',';
+        }
+        out += csv_escape(headers_[c]);
+    }
+    out += '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) {
+                out += ',';
+            }
+            out += csv_escape(row[c]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string fmt(double value, int digits) {
+    if (std::isnan(value)) {
+        return "nan";
+    }
+    if (std::isinf(value)) {
+        return value > 0 ? "inf" : "-inf";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+    return buf;
+}
+
+std::string fmt(long long value) { return std::to_string(value); }
+std::string fmt(std::size_t value) { return std::to_string(value); }
+std::string fmt(int value) { return std::to_string(value); }
+
+std::string fmt_bool(bool value) { return value ? "yes" : "no"; }
+
+}  // namespace manhattan::util

@@ -1,0 +1,57 @@
+/// \file table.h
+/// Markdown / CSV table builder used by every experiment harness to print the
+/// rows-and-series the paper reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace manhattan::util {
+
+/// Column alignment in rendered markdown.
+enum class align { left, right };
+
+/// A small, allocation-friendly table builder.
+///
+/// Usage:
+///     table t{{"R", "flood time", "bound 18L/R", "ratio"}};
+///     t.add_row({fmt(r), fmt(ft), fmt(b), fmt(ft / b)});
+///     std::cout << t.markdown();
+class table {
+ public:
+    table() = default;
+    explicit table(std::vector<std::string> headers);
+
+    /// Replace the header row.
+    void set_headers(std::vector<std::string> headers);
+
+    /// Append one data row. Rows shorter than the header are padded with "".
+    void add_row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+
+    /// Render as a GitHub-flavoured markdown table (columns padded to width).
+    [[nodiscard]] std::string markdown(align a = align::right) const;
+
+    /// Render as CSV (RFC-4180 quoting for cells containing commas/quotes).
+    [[nodiscard]] std::string csv() const;
+
+ private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with \p digits significant digits (trailing zeros trimmed).
+[[nodiscard]] std::string fmt(double value, int digits = 4);
+
+/// Format an integer with no decoration.
+[[nodiscard]] std::string fmt(long long value);
+[[nodiscard]] std::string fmt(std::size_t value);
+[[nodiscard]] std::string fmt(int value);
+
+/// Format a boolean as "yes"/"no" (used for PASS/FAIL style columns).
+[[nodiscard]] std::string fmt_bool(bool value);
+
+}  // namespace manhattan::util

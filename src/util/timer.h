@@ -1,0 +1,26 @@
+/// \file timer.h
+/// Simple wall-clock stopwatch for harness progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace manhattan::util {
+
+/// Wall-clock stopwatch, started at construction.
+class timer {
+ public:
+    timer() : start_(clock::now()) {}
+
+    /// Seconds elapsed since construction or last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    void reset() { start_ = clock::now(); }
+
+ private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace manhattan::util

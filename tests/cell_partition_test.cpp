@@ -1,0 +1,292 @@
+// Unit tests for the Section-4 cell machinery: Ineq. 6 cell sizing,
+// Definition 4's Central Zone, cores, the Suburb's corner structure, the
+// Extended Suburb, and the boundary functional of Lemma 9.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/cell_partition.h"
+#include "core/params.h"
+#include "rng/rng.h"
+
+namespace {
+
+namespace core = manhattan::core;
+namespace paper = manhattan::core::paper;
+using manhattan::geom::vec2;
+
+// A mid-scale configuration with a non-empty, four-corner Suburb
+// (cf. the calibration sweep in EXPERIMENTS.md).
+core::cell_partition make_reference_partition() {
+    const std::size_t n = 20'000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+    return core::cell_partition(n, side, radius);
+}
+
+TEST(choose_cells_test, respects_ineq6_bounds) {
+    for (const double side : {10.0, 100.0, 1000.0}) {
+        for (const double radius : {side / 50, side / 10, side / 3, side}) {
+            const auto m = core::cell_partition::choose_cells_per_side(side, radius);
+            const double l = side / m;
+            EXPECT_LE(l, radius / paper::sqrt5 + 1e-9) << side << " " << radius;
+            EXPECT_GE(l, radius / paper::one_plus_sqrt5 - 1e-9) << side << " " << radius;
+        }
+    }
+}
+
+TEST(choose_cells_test, rejects_oversized_radius) {
+    EXPECT_THROW((void)core::cell_partition::choose_cells_per_side(10.0, 100.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)core::cell_partition::choose_cells_per_side(0.0, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(cell_partition_test, construction_validates) {
+    EXPECT_THROW((void)core::cell_partition(0, 10.0, 1.0), std::invalid_argument);
+}
+
+TEST(cell_partition_test, masses_sum_to_one) {
+    const auto cp = make_reference_partition();
+    double total = 0.0;
+    for (std::size_t id = 0; id < cp.grid().cell_count(); ++id) {
+        total += cp.cell_mass(id);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(cell_partition_test, zone_counts_are_consistent) {
+    const auto cp = make_reference_partition();
+    std::size_t central = 0;
+    for (std::size_t id = 0; id < cp.grid().cell_count(); ++id) {
+        central += cp.zone_of_cell(id) == core::zone::central ? 1 : 0;
+    }
+    EXPECT_EQ(central, cp.central_cell_count());
+    EXPECT_EQ(cp.central_cell_count() + cp.suburb_cell_count(), cp.grid().cell_count());
+    EXPECT_GT(cp.suburb_cell_count(), 0u);  // reference config has a Suburb
+}
+
+TEST(cell_partition_test, zone_respects_threshold_exactly) {
+    const auto cp = make_reference_partition();
+    for (std::size_t id = 0; id < cp.grid().cell_count(); ++id) {
+        if (cp.cell_mass(id) >= cp.threshold()) {
+            EXPECT_EQ(cp.zone_of_cell(id), core::zone::central);
+        } else {
+            EXPECT_EQ(cp.zone_of_cell(id), core::zone::suburb);
+        }
+    }
+    EXPECT_DOUBLE_EQ(cp.threshold(), paper::central_zone_threshold(cp.n()));
+}
+
+TEST(cell_partition_test, threshold_override) {
+    const std::size_t n = 20'000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+    const core::cell_partition everything(n, side, radius, 0.0);
+    EXPECT_EQ(everything.suburb_cell_count(), 0u);  // threshold 0: all central
+    const core::cell_partition nothing(n, side, radius, 1.0);
+    EXPECT_EQ(nothing.central_cell_count(), 0u);    // threshold 1: all suburb
+}
+
+TEST(cell_partition_test, center_is_central_corner_is_suburb) {
+    const auto cp = make_reference_partition();
+    const double L = cp.side();
+    EXPECT_EQ(cp.zone_of_point({L / 2, L / 2}), core::zone::central);
+    EXPECT_EQ(cp.zone_of_point({0.01, 0.01}), core::zone::suburb);
+}
+
+TEST(cell_partition_test, zone_has_the_symmetry_of_the_density) {
+    const auto cp = make_reference_partition();
+    const auto m = cp.grid().cells_per_side();
+    for (std::int32_t cy = 0; cy < m; ++cy) {
+        for (std::int32_t cx = 0; cx < m; ++cx) {
+            const auto z = cp.zone_of_cell(cp.grid().id_of({cx, cy}));
+            EXPECT_EQ(z, cp.zone_of_cell(cp.grid().id_of({cy, cx})));
+            EXPECT_EQ(z, cp.zone_of_cell(cp.grid().id_of({m - 1 - cx, cy})));
+            EXPECT_EQ(z, cp.zone_of_cell(cp.grid().id_of({cx, m - 1 - cy})));
+        }
+    }
+}
+
+TEST(cell_partition_test, suburb_diameter_matches_formula) {
+    const auto cp = make_reference_partition();
+    const double l = cp.cell_side();
+    const auto n = static_cast<double>(cp.n());
+    const double expected = 3.0 * std::pow(cp.side(), 3) * std::log(n) / (2.0 * l * l * n);
+    EXPECT_NEAR(cp.suburb_diameter(), expected, 1e-9);
+}
+
+TEST(cell_partition_test, cores_are_centered_thirds) {
+    const auto cp = make_reference_partition();
+    const auto core_rect = cp.core_of(0);
+    const auto cell_rect = cp.grid().rect_of(cp.grid().coord_of(0));
+    EXPECT_NEAR(core_rect.width(), cell_rect.width() / 3.0, 1e-12);
+    EXPECT_EQ(core_rect.center(), cell_rect.center());
+}
+
+TEST(cell_partition_test, suburb_has_four_corner_components) {
+    const auto cp = make_reference_partition();
+    const auto comps = cp.suburb_components();
+    ASSERT_EQ(comps.size(), 4u);
+    std::size_t total = 0;
+    for (const auto& comp : comps) {
+        total += comp.size();
+    }
+    EXPECT_EQ(total, cp.suburb_cell_count());
+}
+
+TEST(cell_partition_test, lemma15_suburb_extent_bounded_by_s) {
+    const auto cp = make_reference_partition();
+    for (const double extent : cp.suburb_corner_extents()) {
+        EXPECT_LE(extent, cp.suburb_diameter());
+    }
+}
+
+TEST(cell_partition_test, extended_suburb_contains_suburb) {
+    const auto cp = make_reference_partition();
+    EXPECT_TRUE(cp.in_extended_suburb({0.01, 0.01}));
+}
+
+TEST(cell_partition_test, extended_suburb_excludes_center_when_s_is_small) {
+    // The partition is pure geometry — n only enters through the Definition 4
+    // threshold and the S formula — so the asymptotic regime where
+    // 2S << L/2 is directly constructible: n = 1e9 standard case with
+    // R ~ 7.75 sqrt(ln n) has a non-empty Suburb and 2S < L/4.
+    const std::size_t n = 1'000'000'000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = 7.75 * std::sqrt(std::log(static_cast<double>(n)));
+    const core::cell_partition cp(n, side, radius);
+    ASSERT_GT(cp.suburb_cell_count(), 0u);
+    ASSERT_LT(2.0 * cp.suburb_diameter(), side / 4.0);
+    EXPECT_TRUE(cp.in_extended_suburb({0.5, 0.5}));
+    EXPECT_FALSE(cp.in_extended_suburb({side / 2, side / 2}));
+}
+
+TEST(cell_partition_test, corollary12_large_radius_empties_suburb) {
+    const std::size_t n = 20'000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = paper::large_radius_threshold(side, n);
+    const core::cell_partition cp(n, side, radius);
+    EXPECT_EQ(cp.suburb_cell_count(), 0u);
+    EXPECT_EQ(cp.suburb_components().size(), 0u);
+    for (const double extent : cp.suburb_corner_extents()) {
+        EXPECT_DOUBLE_EQ(extent, 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 9 boundary machinery.
+// ---------------------------------------------------------------------------
+
+TEST(boundary_test, validates_mask) {
+    const auto cp = make_reference_partition();
+    std::vector<std::uint8_t> wrong_size(3, 0);
+    EXPECT_THROW((void)cp.boundary_size(wrong_size), std::invalid_argument);
+
+    // Marking a suburb cell as part of B is rejected.
+    std::vector<std::uint8_t> mask(cp.grid().cell_count(), 0);
+    for (std::size_t id = 0; id < mask.size(); ++id) {
+        if (cp.zone_of_cell(id) == core::zone::suburb) {
+            mask[id] = 1;
+            break;
+        }
+    }
+    EXPECT_THROW((void)cp.boundary_size(mask), std::invalid_argument);
+}
+
+TEST(boundary_test, empty_and_full_sets_have_empty_boundary) {
+    const auto cp = make_reference_partition();
+    std::vector<std::uint8_t> empty(cp.grid().cell_count(), 0);
+    EXPECT_EQ(cp.boundary_size(empty), 0u);
+
+    std::vector<std::uint8_t> full(cp.grid().cell_count(), 0);
+    for (std::size_t id = 0; id < full.size(); ++id) {
+        full[id] = cp.zone_of_cell(id) == core::zone::central ? 1 : 0;
+    }
+    EXPECT_EQ(cp.boundary_size(full), 0u);
+    EXPECT_TRUE(std::isinf(cp.expansion_ratio(empty)));
+    EXPECT_TRUE(std::isinf(cp.expansion_ratio(full)));
+}
+
+TEST(boundary_test, single_interior_cell_has_four_neighbors) {
+    const auto cp = make_reference_partition();
+    const auto m = cp.grid().cells_per_side();
+    std::vector<std::uint8_t> mask(cp.grid().cell_count(), 0);
+    mask[cp.grid().id_of({m / 2, m / 2})] = 1;  // central cell, CZ interior
+    EXPECT_EQ(cp.boundary_size(mask), 4u);
+    EXPECT_DOUBLE_EQ(cp.expansion_ratio(mask), 4.0);
+}
+
+TEST(boundary_test, lemma9_holds_for_random_subsets) {
+    const auto cp = make_reference_partition();
+    manhattan::rng::rng g{42};
+    std::vector<std::size_t> central_ids;
+    for (std::size_t id = 0; id < cp.grid().cell_count(); ++id) {
+        if (cp.zone_of_cell(id) == core::zone::central) {
+            central_ids.push_back(id);
+        }
+    }
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> mask(cp.grid().cell_count(), 0);
+        const double p = g.uniform(0.05, 0.95);
+        std::size_t count = 0;
+        for (const std::size_t id : central_ids) {
+            if (g.bernoulli(p)) {
+                mask[id] = 1;
+                ++count;
+            }
+        }
+        if (count == 0 || count == central_ids.size()) {
+            continue;
+        }
+        ASSERT_GE(cp.expansion_ratio(mask), 1.0)
+            << "Lemma 9 violated for random B of size " << count;
+    }
+}
+
+TEST(boundary_test, lemma9_holds_for_adversarial_blocks) {
+    // Compact blocks minimise boundary; Lemma 9 must still hold.
+    const auto cp = make_reference_partition();
+    const auto m = cp.grid().cells_per_side();
+    for (std::int32_t block = 1; block < m / 2; ++block) {
+        std::vector<std::uint8_t> mask(cp.grid().cell_count(), 0);
+        std::size_t count = 0;
+        const std::int32_t lo = m / 2 - block / 2;
+        for (std::int32_t cy = lo; cy < lo + block; ++cy) {
+            for (std::int32_t cx = lo; cx < lo + block; ++cx) {
+                const std::size_t id = cp.grid().id_of({cx, cy});
+                if (cp.zone_of_cell(id) == core::zone::central) {
+                    mask[id] = 1;
+                    ++count;
+                }
+            }
+        }
+        if (count == 0 || count == cp.central_cell_count()) {
+            continue;
+        }
+        ASSERT_GE(cp.expansion_ratio(mask), 1.0) << "block side " << block;
+    }
+}
+
+class lemma6_sweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(lemma6_sweep, full_rows_and_columns_at_least_m_over_sqrt2) {
+    // Lemma 6 at experiment scale: holds for c1 >= 3 (see EXPERIMENTS.md for
+    // the c1 = 2 margin study).
+    const std::size_t n = GetParam();
+    const double side = std::sqrt(static_cast<double>(n));
+    for (const double c1 : {3.0, 4.0, 6.0}) {
+        const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
+        const core::cell_partition cp(n, side, radius);
+        const double m_over_sqrt2 = cp.grid().cells_per_side() / std::sqrt(2.0);
+        EXPECT_GE(static_cast<double>(cp.full_central_rows()), m_over_sqrt2) << "c1=" << c1;
+        EXPECT_GE(static_cast<double>(cp.full_central_columns()), m_over_sqrt2) << "c1=" << c1;
+        EXPECT_EQ(cp.full_central_rows(), cp.full_central_columns());  // symmetry
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(sizes, lemma6_sweep,
+                         ::testing::Values(2000u, 4000u, 10'000u, 20'000u, 50'000u));
+
+}  // namespace

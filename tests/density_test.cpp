@@ -1,0 +1,296 @@
+// Tests of the density module against the paper's closed forms: Theorem 1's
+// spatial pdf (including Observation 5), Theorem 2's destination law, and the
+// Eq. 4/5 cross probabilities — all checked by independent numerical
+// integration and by the algebraic identities the paper derives from them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "density/destination.h"
+#include "density/spatial.h"
+#include "geom/rect.h"
+#include "rng/rng.h"
+
+namespace {
+
+namespace density = manhattan::density;
+using manhattan::geom::rect;
+using manhattan::geom::vec2;
+
+constexpr double kL = 10.0;
+
+// Midpoint-rule numerical integration of the spatial pdf over a rect.
+double numeric_mass(const rect& r, double side, int steps = 400) {
+    const double dx = r.width() / steps;
+    const double dy = r.height() / steps;
+    double acc = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        for (int j = 0; j < steps; ++j) {
+            const vec2 p{r.lo.x + (i + 0.5) * dx, r.lo.y + (j + 0.5) * dy};
+            acc += density::spatial_pdf(p, side);
+        }
+    }
+    return acc * dx * dy;
+}
+
+TEST(spatial_pdf_test, zero_at_corners) {
+    EXPECT_DOUBLE_EQ(density::spatial_pdf({0, 0}, kL), 0.0);
+    EXPECT_DOUBLE_EQ(density::spatial_pdf({kL, 0}, kL), 0.0);
+    EXPECT_DOUBLE_EQ(density::spatial_pdf({0, kL}, kL), 0.0);
+    EXPECT_DOUBLE_EQ(density::spatial_pdf({kL, kL}, kL), 0.0);
+}
+
+TEST(spatial_pdf_test, maximum_at_center) {
+    EXPECT_DOUBLE_EQ(density::spatial_pdf({kL / 2, kL / 2}, kL), 1.5 / (kL * kL));
+    EXPECT_DOUBLE_EQ(density::spatial_pdf_max(kL), 1.5 / (kL * kL));
+}
+
+TEST(spatial_pdf_test, zero_outside_support) {
+    EXPECT_DOUBLE_EQ(density::spatial_pdf({-0.1, 5}, kL), 0.0);
+    EXPECT_DOUBLE_EQ(density::spatial_pdf({5, kL + 0.1}, kL), 0.0);
+}
+
+TEST(spatial_pdf_test, symmetry_group_of_the_square) {
+    manhattan::rng::rng g{3};
+    for (int i = 0; i < 200; ++i) {
+        const vec2 p{g.uniform(0, kL), g.uniform(0, kL)};
+        const double f = density::spatial_pdf(p, kL);
+        EXPECT_DOUBLE_EQ(f, density::spatial_pdf({p.y, p.x}, kL));        // diagonal (exact)
+        EXPECT_NEAR(f, density::spatial_pdf({kL - p.x, p.y}, kL), 1e-12); // vertical
+        EXPECT_NEAR(f, density::spatial_pdf({p.x, kL - p.y}, kL), 1e-12); // horizontal
+        EXPECT_NEAR(f, density::spatial_pdf({kL - p.x, kL - p.y}, kL), 1e-12);  // point
+    }
+}
+
+TEST(spatial_pdf_test, matches_paper_form_exactly) {
+    // f = 3/L^3 (x+y) - 3/L^4 (x^2+y^2), Theorem 1 verbatim.
+    manhattan::rng::rng g{5};
+    for (int i = 0; i < 500; ++i) {
+        const vec2 p{g.uniform(0, kL), g.uniform(0, kL)};
+        const double verbatim = 3.0 / std::pow(kL, 3) * (p.x + p.y) -
+                                3.0 / std::pow(kL, 4) * (p.x * p.x + p.y * p.y);
+        EXPECT_NEAR(density::spatial_pdf(p, kL), verbatim, 1e-15);
+    }
+}
+
+TEST(spatial_mass_test, whole_square_has_unit_mass) {
+    EXPECT_NEAR(density::spatial_rect_mass(rect::square(kL), kL), 1.0, 1e-12);
+}
+
+TEST(spatial_mass_test, halves_split_evenly) {
+    const double west = density::spatial_rect_mass(rect::make({0, 0}, {kL / 2, kL}), kL);
+    const double east = density::spatial_rect_mass(rect::make({kL / 2, 0}, {kL, kL}), kL);
+    EXPECT_NEAR(west, 0.5, 1e-12);
+    EXPECT_NEAR(east, 0.5, 1e-12);
+}
+
+TEST(spatial_mass_test, clips_to_support) {
+    const double m = density::spatial_rect_mass(rect::make({-5, -5}, {kL + 5, kL + 5}), kL);
+    EXPECT_NEAR(m, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(density::spatial_rect_mass(rect::make({-5, -5}, {-1, -1}), kL), 0.0);
+}
+
+TEST(spatial_mass_test, central_mass_exceeds_corner_mass) {
+    const double c = kL / 2;
+    const double central = density::spatial_rect_mass(rect::make({c - 1, c - 1}, {c + 1, c + 1}), kL);
+    const double corner = density::spatial_rect_mass(rect::make({0, 0}, {2, 2}), kL);
+    EXPECT_GT(central, 2.5 * corner);  // exact ratio here: 49.33/17.33 ~ 2.85
+}
+
+class spatial_mass_sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(spatial_mass_sweep, closed_form_matches_numerical_integration) {
+    manhattan::rng::rng g{GetParam()};
+    const double x0 = g.uniform(0, kL * 0.8);
+    const double y0 = g.uniform(0, kL * 0.8);
+    const rect r = rect::make({x0, y0}, {x0 + g.uniform(0.1, kL - x0 - 1e-9),
+                                         y0 + g.uniform(0.1, kL - y0 - 1e-9)});
+    EXPECT_NEAR(density::spatial_rect_mass(r, kL), numeric_mass(r, kL), 2e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(random_rects, spatial_mass_sweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(observation5_test, equals_rect_mass_for_cells) {
+    manhattan::rng::rng g{17};
+    for (int i = 0; i < 300; ++i) {
+        const double cell_side = g.uniform(0.05, 2.0);
+        const vec2 sw{g.uniform(0, kL - cell_side), g.uniform(0, kL - cell_side)};
+        const rect cell = rect::make(sw, sw + vec2{cell_side, cell_side});
+        EXPECT_NEAR(density::observation5_cell_mass(sw, cell_side, kL),
+                    density::spatial_rect_mass(cell, kL), 1e-12);
+    }
+}
+
+TEST(observation5_test, lower_bound_holds_for_every_cell) {
+    manhattan::rng::rng g{19};
+    for (int i = 0; i < 300; ++i) {
+        const double cell_side = g.uniform(0.05, 1.0);
+        const vec2 sw{g.uniform(0, kL - cell_side), g.uniform(0, kL - cell_side)};
+        EXPECT_GE(density::observation5_cell_mass(sw, cell_side, kL) + 1e-15,
+                  density::observation5_lower_bound(cell_side, kL));
+    }
+}
+
+TEST(observation5_test, bound_is_tight_at_the_corner_cell) {
+    // The minimising cell has its SW corner at the square corner.
+    const double cell_side = 0.5;
+    EXPECT_NEAR(density::observation5_cell_mass({0, 0}, cell_side, kL),
+                density::observation5_lower_bound(cell_side, kL), 1e-12);
+}
+
+TEST(marginal_cdf_test, boundary_values_and_monotonicity) {
+    EXPECT_DOUBLE_EQ(density::spatial_marginal_cdf(0.0, kL), 0.0);
+    EXPECT_DOUBLE_EQ(density::spatial_marginal_cdf(kL, kL), 1.0);
+    EXPECT_DOUBLE_EQ(density::spatial_marginal_cdf(-1.0, kL), 0.0);
+    EXPECT_DOUBLE_EQ(density::spatial_marginal_cdf(kL + 1, kL), 1.0);
+    double prev = 0.0;
+    for (int i = 1; i <= 100; ++i) {
+        const double c = density::spatial_marginal_cdf(kL * i / 100.0, kL);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(marginal_cdf_test, derivative_matches_strip_mass) {
+    // cdf(b) - cdf(a) must equal the mass of the vertical strip [a,b] x [0,L].
+    manhattan::rng::rng g{23};
+    for (int i = 0; i < 100; ++i) {
+        double a = g.uniform(0, kL);
+        double b = g.uniform(0, kL);
+        if (a > b) {
+            std::swap(a, b);
+        }
+        const double strip = density::spatial_rect_mass(rect::make({a, 0}, {b, kL}), kL);
+        EXPECT_NEAR(density::spatial_marginal_cdf(b, kL) - density::spatial_marginal_cdf(a, kL),
+                    strip, 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Destination distribution (Theorem 2, Eq. 4/5).
+// ---------------------------------------------------------------------------
+
+TEST(destination_test, denominator_g_positive_inside_zero_on_boundary) {
+    EXPECT_GT(density::denominator_g({1, 1}, kL), 0.0);
+    EXPECT_DOUBLE_EQ(density::denominator_g({0, 0}, kL), 0.0);
+    EXPECT_DOUBLE_EQ(density::denominator_g({kL, kL}, kL), 0.0);
+}
+
+TEST(destination_test, quadrant_pdf_matches_theorem2_verbatim) {
+    const vec2 pos{kL / 3, kL / 4};  // the paper's Fig. 1 probe position
+    const double x0 = pos.x;
+    const double y0 = pos.y;
+    const double denom = 4.0 * kL * (kL * (x0 + y0) - (x0 * x0 + y0 * y0));
+    EXPECT_NEAR(density::quadrant_pdf(pos, density::quadrant::sw, kL),
+                (2 * kL - x0 - y0) / denom, 1e-15);
+    EXPECT_NEAR(density::quadrant_pdf(pos, density::quadrant::ne, kL), (x0 + y0) / denom,
+                1e-15);
+    EXPECT_NEAR(density::quadrant_pdf(pos, density::quadrant::nw, kL),
+                (kL - x0 + y0) / denom, 1e-15);
+    EXPECT_NEAR(density::quadrant_pdf(pos, density::quadrant::se, kL),
+                (kL + x0 - y0) / denom, 1e-15);
+}
+
+TEST(destination_test, phi_matches_eq45_verbatim) {
+    const vec2 pos{kL / 3, kL / 4};
+    const double x0 = pos.x;
+    const double y0 = pos.y;
+    const double denom = 4.0 * kL * (x0 + y0) - 4.0 * (x0 * x0 + y0 * y0);
+    EXPECT_NEAR(density::phi(pos, density::cross_segment::south, kL),
+                y0 * (kL - y0) / denom, 1e-15);
+    EXPECT_NEAR(density::phi(pos, density::cross_segment::west, kL),
+                x0 * (kL - x0) / denom, 1e-15);
+}
+
+TEST(destination_test, phi_north_equals_south_and_east_equals_west) {
+    manhattan::rng::rng g{29};
+    for (int i = 0; i < 200; ++i) {
+        const vec2 pos{g.uniform(0.01, kL - 0.01), g.uniform(0.01, kL - 0.01)};
+        EXPECT_DOUBLE_EQ(density::phi(pos, density::cross_segment::north, kL),
+                         density::phi(pos, density::cross_segment::south, kL));
+        EXPECT_DOUBLE_EQ(density::phi(pos, density::cross_segment::east, kL),
+                         density::phi(pos, density::cross_segment::west, kL));
+    }
+}
+
+class destination_position_sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(destination_position_sweep, cross_mass_is_exactly_one_half) {
+    // The paper's remarkable identity: the cross carries mass 1/2 at *every*
+    // interior position.
+    manhattan::rng::rng g{GetParam()};
+    for (int i = 0; i < 100; ++i) {
+        const vec2 pos{g.uniform(0.001, kL - 0.001), g.uniform(0.001, kL - 0.001)};
+        EXPECT_NEAR(density::cross_mass(pos, kL), 0.5, 1e-12);
+    }
+}
+
+TEST_P(destination_position_sweep, quadrant_masses_sum_to_one_half) {
+    // Complement of the cross identity: the four quadrants carry the rest.
+    manhattan::rng::rng g{GetParam() + 1000};
+    for (int i = 0; i < 100; ++i) {
+        const vec2 pos{g.uniform(0.001, kL - 0.001), g.uniform(0.001, kL - 0.001)};
+        const double total = density::quadrant_mass(pos, density::quadrant::sw, kL) +
+                             density::quadrant_mass(pos, density::quadrant::se, kL) +
+                             density::quadrant_mass(pos, density::quadrant::nw, kL) +
+                             density::quadrant_mass(pos, density::quadrant::ne, kL);
+        EXPECT_NEAR(total, 0.5, 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, destination_position_sweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull));
+
+TEST(destination_test, classify_quadrant) {
+    const vec2 pos{5, 5};
+    EXPECT_EQ(density::classify_quadrant(pos, {1, 1}), density::quadrant::sw);
+    EXPECT_EQ(density::classify_quadrant(pos, {9, 1}), density::quadrant::se);
+    EXPECT_EQ(density::classify_quadrant(pos, {1, 9}), density::quadrant::nw);
+    EXPECT_EQ(density::classify_quadrant(pos, {9, 9}), density::quadrant::ne);
+    EXPECT_THROW((void)density::classify_quadrant(pos, {5, 1}), std::invalid_argument);
+    EXPECT_THROW((void)density::classify_quadrant(pos, {1, 5}), std::invalid_argument);
+}
+
+TEST(destination_test, destination_pdf_dispatches_and_throws_on_cross) {
+    const vec2 pos{3, 7};
+    EXPECT_DOUBLE_EQ(density::destination_pdf(pos, {1, 1}, kL),
+                     density::quadrant_pdf(pos, density::quadrant::sw, kL));
+    EXPECT_THROW((void)density::destination_pdf(pos, {3, 1}, kL), std::invalid_argument);
+}
+
+TEST(destination_test, corner_position_throws_edge_does_not) {
+    // g(x0,y0) vanishes only at the four corners; edge positions still have a
+    // well-defined conditional law (with zero mass towards the outside).
+    EXPECT_THROW((void)density::quadrant_pdf({0, 0}, density::quadrant::ne, kL),
+                 std::invalid_argument);
+    EXPECT_THROW((void)density::phi({kL, kL}, density::cross_segment::north, kL),
+                 std::invalid_argument);
+    EXPECT_NO_THROW((void)density::phi({0, 5}, density::cross_segment::north, kL));
+    EXPECT_DOUBLE_EQ(density::phi({0, 5}, density::cross_segment::west, kL), 0.0);
+}
+
+TEST(destination_test, sw_quadrant_is_always_densest) {
+    // 2L - x0 - y0 dominates the other three numerators for interior points:
+    // destinations "ahead" (towards far corners) are less likely than behind.
+    manhattan::rng::rng g{31};
+    for (int i = 0; i < 200; ++i) {
+        const vec2 pos{g.uniform(0.01, kL / 2), g.uniform(0.01, kL / 2)};
+        const double sw = density::quadrant_pdf(pos, density::quadrant::sw, kL);
+        EXPECT_GE(sw, density::quadrant_pdf(pos, density::quadrant::ne, kL));
+        EXPECT_GE(sw, density::quadrant_pdf(pos, density::quadrant::nw, kL));
+        EXPECT_GE(sw, density::quadrant_pdf(pos, density::quadrant::se, kL));
+    }
+}
+
+TEST(destination_test, center_position_is_isotropic) {
+    const vec2 center{kL / 2, kL / 2};
+    const double sw = density::quadrant_pdf(center, density::quadrant::sw, kL);
+    EXPECT_DOUBLE_EQ(sw, density::quadrant_pdf(center, density::quadrant::ne, kL));
+    EXPECT_DOUBLE_EQ(sw, density::quadrant_pdf(center, density::quadrant::nw, kL));
+    EXPECT_DOUBLE_EQ(sw, density::quadrant_pdf(center, density::quadrant::se, kL));
+    EXPECT_DOUBLE_EQ(density::phi(center, density::cross_segment::north, kL),
+                     density::phi(center, density::cross_segment::east, kL));
+}
+
+}  // namespace

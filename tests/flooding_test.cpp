@@ -1,0 +1,236 @@
+// Unit tests for the flooding engine: exact hop semantics on frozen
+// geometries, both propagation modes, metric bookkeeping, and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/flooding.h"
+#include "core/params.h"
+#include "mobility/mrwp.h"
+#include "mobility/static_model.h"
+#include "mobility/walker.h"
+
+namespace {
+
+namespace core = manhattan::core;
+namespace mobility = manhattan::mobility;
+using manhattan::geom::vec2;
+using manhattan::rng::rng;
+
+constexpr double kL = 100.0;
+
+// A frozen walker with agents at prescribed positions.
+mobility::walker frozen_walker(const std::vector<vec2>& positions) {
+    auto model = std::make_shared<mobility::static_model>(kL);
+    mobility::walker w(model, positions.size(), 0.0, rng{1});
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        mobility::trip_state s;
+        s.pos = positions[i];
+        s.waypoint = positions[i];
+        s.dest = positions[i];
+        s.leg = 1;
+        w.set_agent(i, s);
+    }
+    return w;
+}
+
+TEST(flooding_test, validates_arguments) {
+    auto w = frozen_walker({{1, 1}, {2, 2}});
+    core::flood_config cfg;
+    cfg.source = 5;
+    EXPECT_THROW((void)core::flooding_sim(std::move(w), 1.0, cfg), std::invalid_argument);
+    auto w2 = frozen_walker({{1, 1}});
+    EXPECT_THROW((void)core::flooding_sim(std::move(w2), 0.0), std::invalid_argument);
+}
+
+TEST(flooding_test, source_is_informed_at_time_zero) {
+    core::flooding_sim sim(frozen_walker({{1, 1}, {50, 50}}), 1.0);
+    EXPECT_TRUE(sim.is_informed(0));
+    EXPECT_FALSE(sim.is_informed(1));
+    EXPECT_EQ(sim.informed_count(), 1u);
+}
+
+TEST(flooding_test, chain_floods_one_hop_per_step) {
+    // Path 0-1-2-3-4 with unit spacing, R = 1: the paper's protocol takes
+    // exactly one hop per step, so flooding time = 4.
+    std::vector<vec2> chain;
+    for (int i = 0; i < 5; ++i) {
+        chain.push_back({10.0 + i, 10.0});
+    }
+    core::flooding_sim sim(frozen_walker(chain), 1.0);
+    const auto result = sim.run();
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.flooding_time, 4u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(result.informed_at[i], static_cast<std::uint32_t>(i));
+    }
+}
+
+TEST(flooding_test, per_component_floods_chain_in_one_step) {
+    std::vector<vec2> chain;
+    for (int i = 0; i < 5; ++i) {
+        chain.push_back({10.0 + i, 10.0});
+    }
+    core::flood_config cfg;
+    cfg.mode = core::propagation::per_component;
+    core::flooding_sim sim(frozen_walker(chain), 1.0, cfg);
+    const auto result = sim.run();
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.flooding_time, 1u);
+}
+
+TEST(flooding_test, clique_floods_in_one_step) {
+    core::flooding_sim sim(frozen_walker({{10, 10}, {10.5, 10}, {10, 10.5}, {10.5, 10.5}}),
+                           2.0);
+    const auto result = sim.run();
+    EXPECT_EQ(result.flooding_time, 1u);
+}
+
+TEST(flooding_test, isolated_static_agent_never_informed) {
+    core::flood_config cfg;
+    cfg.max_steps = 50;
+    core::flooding_sim sim(frozen_walker({{10, 10}, {90, 90}}), 1.0, cfg);
+    const auto result = sim.run();
+    EXPECT_FALSE(result.completed);
+    EXPECT_EQ(result.flooding_time, 50u);
+    EXPECT_EQ(result.informed_count, 1u);
+    EXPECT_EQ(result.informed_at[1], core::never_informed);
+}
+
+TEST(flooding_test, timeline_is_monotone_and_ends_at_n) {
+    std::vector<vec2> chain;
+    for (int i = 0; i < 8; ++i) {
+        chain.push_back({10.0 + i, 10.0});
+    }
+    core::flood_config cfg;
+    cfg.record_timeline = true;
+    core::flooding_sim sim(frozen_walker(chain), 1.0, cfg);
+    const auto result = sim.run();
+    ASSERT_FALSE(result.timeline.empty());
+    for (std::size_t t = 1; t < result.timeline.size(); ++t) {
+        EXPECT_GE(result.timeline[t], result.timeline[t - 1]);
+    }
+    EXPECT_EQ(result.timeline.back(), chain.size());
+}
+
+TEST(flooding_test, informed_at_is_consistent_with_timeline) {
+    std::vector<vec2> chain;
+    for (int i = 0; i < 6; ++i) {
+        chain.push_back({10.0 + 0.9 * i, 10.0});
+    }
+    core::flood_config cfg;
+    cfg.record_timeline = true;
+    core::flooding_sim sim(frozen_walker(chain), 1.0, cfg);
+    const auto result = sim.run();
+    for (std::size_t t = 0; t < result.timeline.size(); ++t) {
+        std::size_t count = 0;
+        for (const auto at : result.informed_at) {
+            count += (at != core::never_informed && at <= t + 1) ? 1 : 0;
+        }
+        EXPECT_EQ(result.timeline[t], count) << "step " << t + 1;
+    }
+}
+
+TEST(flooding_test, nonzero_source_works) {
+    std::vector<vec2> chain;
+    for (int i = 0; i < 5; ++i) {
+        chain.push_back({10.0 + i, 10.0});
+    }
+    core::flood_config cfg;
+    cfg.source = 4;  // flood from the far end
+    core::flooding_sim sim(frozen_walker(chain), 1.0, cfg);
+    const auto result = sim.run();
+    EXPECT_EQ(result.flooding_time, 4u);
+    EXPECT_EQ(result.informed_at[0], 4u);
+    EXPECT_EQ(result.informed_at[4], 0u);
+}
+
+TEST(flooding_test, single_agent_is_trivially_complete) {
+    core::flooding_sim sim(frozen_walker({{10, 10}}), 1.0);
+    const auto result = sim.run();
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.flooding_time, 0u);
+}
+
+TEST(flooding_test, newly_informed_do_not_transmit_same_step) {
+    // 0 at distance 1 of 1; 1 at distance 1 of 2; 0 and 2 at distance 2 > R.
+    // If newly informed agents transmitted immediately, 2 would be informed
+    // at step 1; the paper's protocol informs it at step 2.
+    core::flooding_sim sim(frozen_walker({{10, 10}, {11, 10}, {12, 10}}), 1.0);
+    (void)sim.step();
+    EXPECT_TRUE(sim.is_informed(1));
+    EXPECT_FALSE(sim.is_informed(2));
+    (void)sim.step();
+    EXPECT_TRUE(sim.is_informed(2));
+}
+
+TEST(flooding_test, mobile_runs_are_deterministic_per_seed) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    auto make = [&] {
+        mobility::walker w(model, 300, 1.0, rng{77});
+        core::flood_config cfg;
+        cfg.max_steps = 5000;
+        return core::flooding_sim(std::move(w), 8.0, cfg);
+    };
+    auto a = make().run();
+    auto b = make().run();
+    EXPECT_EQ(a.flooding_time, b.flooding_time);
+    EXPECT_EQ(a.informed_at, b.informed_at);
+}
+
+TEST(flooding_test, both_modes_agree_on_completion_and_component_is_faster) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    core::flood_config one_hop_cfg;
+    one_hop_cfg.max_steps = 20'000;
+    core::flood_config comp_cfg = one_hop_cfg;
+    comp_cfg.mode = core::propagation::per_component;
+
+    mobility::walker w1(model, 400, 1.0, rng{5});
+    const auto one_hop = core::flooding_sim(std::move(w1), 8.0, one_hop_cfg).run();
+    mobility::walker w2(model, 400, 1.0, rng{5});
+    const auto comp = core::flooding_sim(std::move(w2), 8.0, comp_cfg).run();
+
+    ASSERT_TRUE(one_hop.completed);
+    ASSERT_TRUE(comp.completed);
+    EXPECT_LE(comp.flooding_time, one_hop.flooding_time);
+}
+
+TEST(flooding_test, central_zone_metrics_tracked_with_partition) {
+    const std::size_t n = 2000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+    const core::cell_partition cells(n, side, radius);
+
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    mobility::walker w(model, n, core::paper::speed_bound(radius), rng{6});
+    core::flood_config cfg;
+    cfg.max_steps = 50'000;
+    core::flooding_sim sim(std::move(w), radius, cfg, &cells);
+    const auto result = sim.run();
+    ASSERT_TRUE(result.completed);
+    ASSERT_TRUE(result.central_zone_informed_step.has_value());
+    EXPECT_LE(*result.central_zone_informed_step, result.flooding_time);
+}
+
+TEST(flooding_test, without_partition_no_cz_metric) {
+    core::flooding_sim sim(frozen_walker({{10, 10}, {10.5, 10}}), 1.0);
+    const auto result = sim.run();
+    EXPECT_FALSE(result.central_zone_informed_step.has_value());
+}
+
+TEST(flooding_test, moving_agents_bridge_static_gap) {
+    // Two static agents 30 apart with R = 1 can only be bridged by mobility:
+    // replace the static model with MRWP and the message must eventually
+    // cross, demonstrating the "mobility as a resource" phenomenon.
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    mobility::walker w(model, 60, 2.0, rng{8});
+    core::flood_config cfg;
+    cfg.max_steps = 100'000;
+    core::flooding_sim sim(std::move(w), 3.0, cfg);
+    const auto result = sim.run();
+    EXPECT_TRUE(result.completed);
+    EXPECT_GT(result.flooding_time, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+// Unit tests for the geom module: vec2 metrics, rect geometry, the cell grid
+// of Section 4, and brute-force cross-validation of the uniform_grid spatial
+// index (the engine behind every disk-graph query).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "geom/grid_spec.h"
+#include "geom/rect.h"
+#include "geom/uniform_grid.h"
+#include "geom/vec2.h"
+#include "rng/rng.h"
+
+namespace {
+
+using manhattan::geom::cell_coord;
+using manhattan::geom::grid_spec;
+using manhattan::geom::rect;
+using manhattan::geom::uniform_grid;
+using manhattan::geom::vec2;
+
+TEST(vec2_test, arithmetic) {
+    const vec2 a{1.0, 2.0};
+    const vec2 b{3.0, -4.0};
+    EXPECT_EQ(a + b, (vec2{4.0, -2.0}));
+    EXPECT_EQ(a - b, (vec2{-2.0, 6.0}));
+    EXPECT_EQ(a * 2.0, (vec2{2.0, 4.0}));
+    EXPECT_EQ(2.0 * a, (vec2{2.0, 4.0}));
+}
+
+TEST(vec2_test, compound_assignment) {
+    vec2 a{1.0, 1.0};
+    a += {2.0, 3.0};
+    EXPECT_EQ(a, (vec2{3.0, 4.0}));
+    a -= {1.0, 1.0};
+    EXPECT_EQ(a, (vec2{2.0, 3.0}));
+    a *= 0.5;
+    EXPECT_EQ(a, (vec2{1.0, 1.5}));
+}
+
+TEST(vec2_test, metrics) {
+    const vec2 a{0.0, 0.0};
+    const vec2 b{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(manhattan::geom::dist(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(manhattan::geom::dist2(a, b), 25.0);
+    EXPECT_DOUBLE_EQ(manhattan::geom::manhattan_dist(a, b), 7.0);
+    EXPECT_DOUBLE_EQ(manhattan::geom::chebyshev_dist(a, b), 4.0);
+}
+
+TEST(vec2_test, metric_ordering_l1_ge_l2_ge_linf) {
+    manhattan::rng::rng g{9};
+    for (int i = 0; i < 1000; ++i) {
+        const vec2 a{g.uniform(-10, 10), g.uniform(-10, 10)};
+        const vec2 b{g.uniform(-10, 10), g.uniform(-10, 10)};
+        const double l1 = manhattan::geom::manhattan_dist(a, b);
+        const double l2 = manhattan::geom::dist(a, b);
+        const double li = manhattan::geom::chebyshev_dist(a, b);
+        ASSERT_GE(l1 + 1e-12, l2);
+        ASSERT_GE(l2 + 1e-12, li);
+    }
+}
+
+TEST(rect_test, make_validates) {
+    EXPECT_NO_THROW(rect::make({0, 0}, {1, 1}));
+    EXPECT_THROW((void)rect::make({1, 0}, {0, 1}), std::invalid_argument);
+    EXPECT_THROW((void)rect::make({0, 1}, {1, 0}), std::invalid_argument);
+}
+
+TEST(rect_test, basic_geometry) {
+    const rect r = rect::make({1, 2}, {4, 8});
+    EXPECT_DOUBLE_EQ(r.width(), 3.0);
+    EXPECT_DOUBLE_EQ(r.height(), 6.0);
+    EXPECT_DOUBLE_EQ(r.area(), 18.0);
+    EXPECT_EQ(r.center(), (vec2{2.5, 5.0}));
+}
+
+TEST(rect_test, contains_is_closed) {
+    const rect r = rect::make({0, 0}, {1, 1});
+    EXPECT_TRUE(r.contains({0, 0}));
+    EXPECT_TRUE(r.contains({1, 1}));
+    EXPECT_TRUE(r.contains({0.5, 0.5}));
+    EXPECT_FALSE(r.contains({1.000001, 0.5}));
+    EXPECT_FALSE(r.contains({0.5, -0.000001}));
+}
+
+TEST(rect_test, clamp_projects_to_nearest_point) {
+    const rect r = rect::make({0, 0}, {2, 2});
+    EXPECT_EQ(r.clamp({-1, 1}), (vec2{0, 1}));
+    EXPECT_EQ(r.clamp({3, 3}), (vec2{2, 2}));
+    EXPECT_EQ(r.clamp({1, 1}), (vec2{1, 1}));
+}
+
+TEST(rect_test, shrunk_core_is_centered_third) {
+    const rect cell = rect::make({3, 3}, {6, 6});
+    const rect core = cell.shrunk(1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(core.width(), 1.0);
+    EXPECT_DOUBLE_EQ(core.height(), 1.0);
+    EXPECT_EQ(core.center(), cell.center());
+    EXPECT_THROW((void)cell.shrunk(0.0), std::invalid_argument);
+    EXPECT_THROW((void)cell.shrunk(1.5), std::invalid_argument);
+}
+
+TEST(rect_test, manhattan_distance_to) {
+    const rect r = rect::make({0, 0}, {1, 1});
+    EXPECT_DOUBLE_EQ(r.manhattan_distance_to({0.5, 0.5}), 0.0);
+    EXPECT_DOUBLE_EQ(r.manhattan_distance_to({2.0, 0.5}), 1.0);
+    EXPECT_DOUBLE_EQ(r.manhattan_distance_to({2.0, 3.0}), 3.0);   // 1 + 2
+    EXPECT_DOUBLE_EQ(r.manhattan_distance_to({-1.0, -1.0}), 2.0); // corner
+}
+
+TEST(rect_test, intersects) {
+    const rect r = rect::make({0, 0}, {2, 2});
+    EXPECT_TRUE(r.intersects(rect::make({1, 1}, {3, 3})));
+    EXPECT_TRUE(r.intersects(rect::make({2, 2}, {3, 3})));  // touching corner
+    EXPECT_FALSE(r.intersects(rect::make({2.1, 0}, {3, 1})));
+}
+
+TEST(grid_spec_test, construction_validates) {
+    EXPECT_THROW((void)grid_spec(0.0, 4), std::invalid_argument);
+    EXPECT_THROW((void)grid_spec(-1.0, 4), std::invalid_argument);
+    EXPECT_THROW((void)grid_spec(10.0, 0), std::invalid_argument);
+}
+
+TEST(grid_spec_test, cell_of_maps_interior_points) {
+    const grid_spec g(10.0, 5);  // cell side 2
+    EXPECT_EQ(g.cell_of({0.5, 0.5}), (cell_coord{0, 0}));
+    EXPECT_EQ(g.cell_of({9.5, 0.5}), (cell_coord{4, 0}));
+    EXPECT_EQ(g.cell_of({5.0, 5.0}), (cell_coord{2, 2}));
+}
+
+TEST(grid_spec_test, border_points_clamp_into_grid) {
+    const grid_spec g(10.0, 5);
+    EXPECT_EQ(g.cell_of({10.0, 10.0}), (cell_coord{4, 4}));
+    EXPECT_EQ(g.cell_of({-0.1, 10.5}), (cell_coord{0, 4}));
+}
+
+TEST(grid_spec_test, id_coord_roundtrip) {
+    const grid_spec g(7.0, 9);
+    for (std::size_t id = 0; id < g.cell_count(); ++id) {
+        EXPECT_EQ(g.id_of(g.coord_of(id)), id);
+    }
+}
+
+TEST(grid_spec_test, rect_of_tiles_the_square) {
+    const grid_spec g(6.0, 3);
+    double total_area = 0.0;
+    for (std::size_t id = 0; id < g.cell_count(); ++id) {
+        total_area += g.rect_of(g.coord_of(id)).area();
+    }
+    EXPECT_NEAR(total_area, 36.0, 1e-9);
+    EXPECT_THROW((void)g.rect_of({3, 0}), std::out_of_range);
+}
+
+TEST(grid_spec_test, rect_of_contains_its_cell_points) {
+    const grid_spec g(10.0, 7);
+    manhattan::rng::rng rnd{4};
+    for (int i = 0; i < 1000; ++i) {
+        const vec2 p{rnd.uniform(0, 10), rnd.uniform(0, 10)};
+        EXPECT_TRUE(g.rect_of(g.cell_of(p)).contains(p));
+    }
+}
+
+TEST(grid_spec_test, orthogonal_neighbor_counts) {
+    const grid_spec g(10.0, 4);
+    EXPECT_EQ(g.orthogonal_neighbors({0, 0}).size(), 2u);    // corner
+    EXPECT_EQ(g.orthogonal_neighbors({1, 0}).size(), 3u);    // edge
+    EXPECT_EQ(g.orthogonal_neighbors({1, 1}).size(), 4u);    // interior
+}
+
+TEST(grid_spec_test, surrounding_counts) {
+    const grid_spec g(10.0, 4);
+    EXPECT_EQ(g.surrounding({0, 0}).size(), 3u);
+    EXPECT_EQ(g.surrounding({1, 0}).size(), 5u);
+    EXPECT_EQ(g.surrounding({2, 2}).size(), 8u);
+}
+
+TEST(uniform_grid_test, construction_validates) {
+    EXPECT_THROW((void)uniform_grid(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)uniform_grid(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(uniform_grid_test, bucket_side_at_least_minimum) {
+    const uniform_grid g(10.0, 3.0);
+    EXPECT_GE(g.bucket_side(), 3.0);
+    EXPECT_EQ(g.buckets_per_side(), 3);
+}
+
+TEST(uniform_grid_test, min_bucket_larger_than_side_gives_single_bucket) {
+    const uniform_grid g(5.0, 50.0);
+    EXPECT_EQ(g.buckets_per_side(), 1);
+    EXPECT_DOUBLE_EQ(g.bucket_side(), 5.0);
+}
+
+TEST(uniform_grid_test, empty_rebuild_queries_cleanly) {
+    uniform_grid g(10.0, 1.0);
+    g.rebuild({});
+    EXPECT_EQ(g.query({5, 5}, 3.0).size(), 0u);
+}
+
+TEST(uniform_grid_test, query_finds_exact_matches) {
+    uniform_grid g(10.0, 2.0);
+    const std::vector<vec2> pts = {{1, 1}, {1.5, 1}, {8, 8}, {5, 5}};
+    g.rebuild(pts);
+    const auto near_origin = g.query({1, 1}, 1.0);
+    std::set<std::uint32_t> ids(near_origin.begin(), near_origin.end());
+    EXPECT_EQ(ids, (std::set<std::uint32_t>{0, 1}));
+}
+
+TEST(uniform_grid_test, radius_boundary_is_inclusive) {
+    uniform_grid g(10.0, 1.0);
+    const std::vector<vec2> pts = {{0, 0}, {3, 4}};
+    g.rebuild(pts);
+    EXPECT_EQ(g.query({0, 0}, 5.0).size(), 2u);    // dist exactly 5
+    EXPECT_EQ(g.query({0, 0}, 4.999).size(), 1u);
+}
+
+TEST(uniform_grid_test, any_in_radius_early_exit) {
+    uniform_grid g(10.0, 2.0);
+    const std::vector<vec2> pts = {{1, 1}, {1.1, 1}, {1.2, 1}};
+    g.rebuild(pts);
+    int visits = 0;
+    const bool found = g.any_in_radius({1, 1}, 1.0, [&](std::uint32_t) {
+        ++visits;
+        return true;
+    });
+    EXPECT_TRUE(found);
+    EXPECT_EQ(visits, 1);
+}
+
+TEST(uniform_grid_test, any_in_radius_false_when_no_match) {
+    uniform_grid g(10.0, 2.0);
+    const std::vector<vec2> pts = {{1, 1}};
+    g.rebuild(pts);
+    const bool found =
+        g.any_in_radius({9, 9}, 1.0, [](std::uint32_t) { return true; });
+    EXPECT_FALSE(found);
+}
+
+struct grid_case {
+    std::size_t n;
+    double side;
+    double bucket;
+    double radius;
+    std::uint64_t seed;
+};
+
+class uniform_grid_sweep : public ::testing::TestWithParam<grid_case> {};
+
+TEST_P(uniform_grid_sweep, matches_brute_force) {
+    const auto c = GetParam();
+    manhattan::rng::rng rnd{c.seed};
+    std::vector<vec2> pts(c.n);
+    for (auto& p : pts) {
+        p = {rnd.uniform(0, c.side), rnd.uniform(0, c.side)};
+    }
+    uniform_grid g(c.side, c.bucket);
+    g.rebuild(pts);
+
+    for (int probe = 0; probe < 25; ++probe) {
+        const vec2 q{rnd.uniform(0, c.side), rnd.uniform(0, c.side)};
+        auto fast = g.query(q, c.radius);
+        std::sort(fast.begin(), fast.end());
+        std::vector<std::uint32_t> slow;
+        for (std::uint32_t i = 0; i < pts.size(); ++i) {
+            if (manhattan::geom::dist(pts[i], q) <= c.radius) {
+                slow.push_back(i);
+            }
+        }
+        ASSERT_EQ(fast, slow);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    cases, uniform_grid_sweep,
+    ::testing::Values(grid_case{50, 10.0, 1.0, 1.0, 1}, grid_case{200, 10.0, 2.0, 2.0, 2},
+                      grid_case{500, 100.0, 5.0, 5.0, 3},
+                      // radius larger than bucket side: query spans many buckets
+                      grid_case{300, 50.0, 2.0, 11.0, 4},
+                      // radius larger than the whole square
+                      grid_case{100, 10.0, 3.0, 25.0, 5},
+                      grid_case{1, 10.0, 1.0, 2.0, 6}, grid_case{1000, 31.6, 3.0, 3.0, 7}));
+
+}  // namespace

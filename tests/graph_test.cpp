@@ -1,0 +1,195 @@
+// Unit tests for the graph module: union-find algebra, disk-graph snapshot
+// construction cross-checked against a brute-force O(n^2) build, and the
+// connectivity statistics used by the threshold experiments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/disk_graph.h"
+#include "graph/union_find.h"
+#include "rng/rng.h"
+
+namespace {
+
+using manhattan::geom::vec2;
+using manhattan::graph::disk_graph;
+using manhattan::graph::union_find;
+
+TEST(union_find_test, initial_state) {
+    union_find uf(5);
+    EXPECT_EQ(uf.element_count(), 5u);
+    EXPECT_EQ(uf.component_count(), 5u);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(uf.find(i), i);
+        EXPECT_EQ(uf.component_size(i), 1u);
+    }
+}
+
+TEST(union_find_test, unite_merges_and_counts) {
+    union_find uf(6);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_TRUE(uf.unite(2, 3));
+    EXPECT_FALSE(uf.unite(1, 0));  // already merged
+    EXPECT_EQ(uf.component_count(), 4u);
+    EXPECT_TRUE(uf.same(0, 1));
+    EXPECT_FALSE(uf.same(0, 2));
+    EXPECT_TRUE(uf.unite(0, 2));
+    EXPECT_EQ(uf.component_size(3), 4u);
+    EXPECT_EQ(uf.giant_size(), 4u);
+}
+
+TEST(union_find_test, chain_union_collapses_to_one_component) {
+    const std::uint32_t n = 1000;
+    union_find uf(n);
+    for (std::uint32_t i = 0; i + 1 < n; ++i) {
+        uf.unite(i, i + 1);
+    }
+    EXPECT_EQ(uf.component_count(), 1u);
+    EXPECT_EQ(uf.component_size(0), n);
+}
+
+TEST(disk_graph_test, validates_arguments) {
+    const std::vector<vec2> pts = {{1, 1}};
+    EXPECT_THROW((void)disk_graph(pts, 0.0, 10.0), std::invalid_argument);
+    EXPECT_THROW((void)disk_graph(pts, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(disk_graph_test, empty_and_singleton) {
+    const disk_graph empty({}, 1.0, 10.0);
+    EXPECT_EQ(empty.node_count(), 0u);
+    EXPECT_EQ(empty.edge_count(), 0u);
+
+    const std::vector<vec2> one = {{5, 5}};
+    const disk_graph single(one, 1.0, 10.0);
+    EXPECT_EQ(single.node_count(), 1u);
+    EXPECT_EQ(single.edge_count(), 0u);
+    const auto st = single.stats();
+    EXPECT_EQ(st.isolated, 1u);
+    EXPECT_EQ(st.components, 1u);
+    EXPECT_TRUE(st.connected);
+}
+
+TEST(disk_graph_test, path_of_three) {
+    // 0 -- 1 -- 2 with unit spacing, R = 1: a path, not a triangle.
+    const std::vector<vec2> pts = {{1, 1}, {2, 1}, {3, 1}};
+    const disk_graph g(pts, 1.0, 10.0);
+    EXPECT_EQ(g.edge_count(), 2u);
+    EXPECT_EQ(g.neighbors(1).size(), 2u);
+    EXPECT_EQ(g.neighbors(0).size(), 1u);
+    EXPECT_EQ(g.neighbors(0)[0], 1u);
+    const auto st = g.stats();
+    EXPECT_TRUE(st.connected);
+    EXPECT_EQ(st.max_degree, 2u);
+    EXPECT_EQ(st.isolated, 0u);
+    EXPECT_DOUBLE_EQ(st.avg_degree, 4.0 / 3.0);
+}
+
+TEST(disk_graph_test, radius_is_inclusive) {
+    const std::vector<vec2> pts = {{0, 0}, {3, 4}};
+    EXPECT_EQ(disk_graph(pts, 5.0, 10.0).edge_count(), 1u);
+    EXPECT_EQ(disk_graph(pts, 4.999, 10.0).edge_count(), 0u);
+}
+
+TEST(disk_graph_test, two_clusters) {
+    const std::vector<vec2> pts = {{1, 1}, {1.5, 1}, {8, 8}, {8.5, 8}, {8.5, 8.5}};
+    const disk_graph g(pts, 1.0, 10.0);
+    const auto st = g.stats();
+    EXPECT_EQ(st.components, 2u);
+    EXPECT_EQ(st.giant_size, 3u);
+    EXPECT_FALSE(st.connected);
+    const auto labels = g.component_labels();
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[2], labels[3]);
+    EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(disk_graph_test, bfs_eccentricity_on_path) {
+    std::vector<vec2> pts;
+    for (int i = 0; i < 10; ++i) {
+        pts.push_back({static_cast<double>(i), 0.0});
+    }
+    const disk_graph g(pts, 1.0, 20.0);
+    EXPECT_EQ(g.bfs_eccentricity(0), 9u);
+    EXPECT_EQ(g.bfs_eccentricity(5), 5u);
+    EXPECT_THROW((void)g.bfs_eccentricity(10), std::out_of_range);
+}
+
+TEST(disk_graph_test, double_sweep_diameter_on_path_is_exact) {
+    std::vector<vec2> pts;
+    for (int i = 0; i < 25; ++i) {
+        pts.push_back({static_cast<double>(i), 0.0});
+    }
+    const disk_graph g(pts, 1.0, 30.0);
+    EXPECT_EQ(g.double_sweep_diameter(), 24u);
+}
+
+TEST(disk_graph_test, double_sweep_targets_giant_component) {
+    // A long path plus an isolated vertex: the sweep must measure the path.
+    std::vector<vec2> pts;
+    for (int i = 0; i < 10; ++i) {
+        pts.push_back({static_cast<double>(i), 0.0});
+    }
+    pts.push_back({0.0, 50.0});
+    const disk_graph g(pts, 1.0, 60.0);
+    EXPECT_EQ(g.double_sweep_diameter(), 9u);
+}
+
+struct brute_case {
+    std::size_t n;
+    double side;
+    double radius;
+    std::uint64_t seed;
+};
+
+class disk_graph_sweep : public ::testing::TestWithParam<brute_case> {};
+
+TEST_P(disk_graph_sweep, adjacency_matches_brute_force) {
+    const auto c = GetParam();
+    manhattan::rng::rng g{c.seed};
+    std::vector<vec2> pts(c.n);
+    for (auto& p : pts) {
+        p = {g.uniform(0, c.side), g.uniform(0, c.side)};
+    }
+    const disk_graph dg(pts, c.radius, c.side);
+
+    std::size_t brute_edges = 0;
+    for (std::uint32_t i = 0; i < c.n; ++i) {
+        std::vector<std::uint32_t> expected;
+        for (std::uint32_t j = 0; j < c.n; ++j) {
+            if (j != i && manhattan::geom::dist(pts[i], pts[j]) <= c.radius) {
+                expected.push_back(j);
+                if (j > i) {
+                    ++brute_edges;
+                }
+            }
+        }
+        const auto got = dg.neighbors(i);
+        ASSERT_EQ(std::vector<std::uint32_t>(got.begin(), got.end()), expected);
+    }
+    EXPECT_EQ(dg.edge_count(), brute_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(cases, disk_graph_sweep,
+                         ::testing::Values(brute_case{100, 10, 1.0, 1},
+                                           brute_case{200, 10, 2.5, 2},
+                                           brute_case{300, 100, 8.0, 3},
+                                           brute_case{150, 10, 15.0, 4},   // complete graph
+                                           brute_case{50, 10, 0.01, 5}));  // empty graph
+
+TEST(disk_graph_test, dense_radius_gives_complete_graph) {
+    manhattan::rng::rng g{6};
+    std::vector<vec2> pts(40);
+    for (auto& p : pts) {
+        p = {g.uniform(0, 10), g.uniform(0, 10)};
+    }
+    const disk_graph dg(pts, 20.0, 10.0);
+    EXPECT_EQ(dg.edge_count(), 40u * 39u / 2u);
+    const auto st = dg.stats();
+    EXPECT_TRUE(st.connected);
+    EXPECT_EQ(st.max_degree, 39u);
+    EXPECT_EQ(st.components, 1u);
+}
+
+}  // namespace

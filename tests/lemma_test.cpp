@@ -1,0 +1,280 @@
+// Computational verification of the paper's standalone lemmas and claims:
+// Claim 11's deterministic growth sequence, Lemma 13's turn-count bound,
+// Lemma 15's Suburb diameter, Ineq. 8's core-stability property, and the
+// expectation form of Lemma 7's density condition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/cell_partition.h"
+#include "core/params.h"
+#include "density/spatial.h"
+#include "mobility/mrwp.h"
+#include "mobility/walker.h"
+#include "rng/rng.h"
+
+namespace {
+
+namespace core = manhattan::core;
+namespace paper = manhattan::core::paper;
+namespace mobility = manhattan::mobility;
+using manhattan::geom::vec2;
+using manhattan::rng::rng;
+
+// ---------------------------------------------------------------------------
+// Claim 11: any integer sequence with q_{t+1} >= q_t + sqrt(min(q_t, qbar-q_t))
+// reaches qbar within 5 sqrt(qbar) steps. We simulate the *slowest* admissible
+// sequence (exact ceil of the bound) — if it obeys the claim, all do.
+// ---------------------------------------------------------------------------
+
+class claim11_sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(claim11_sweep, slowest_admissible_sequence_reaches_qbar_in_time) {
+    const std::uint64_t qbar = GetParam();
+    std::uint64_t q = 1;
+    std::uint64_t steps = 0;
+    const auto limit = static_cast<std::uint64_t>(
+        std::ceil(5.0 * std::sqrt(static_cast<double>(qbar))));
+    while (q < qbar) {
+        const std::uint64_t growth = static_cast<std::uint64_t>(
+            std::ceil(std::sqrt(static_cast<double>(std::min(q, qbar - q)))));
+        q = std::min(qbar, q + growth);
+        ++steps;
+        ASSERT_LE(steps, limit) << "Claim 11 horizon exceeded for qbar=" << qbar;
+    }
+    EXPECT_LE(steps, limit);
+}
+
+INSTANTIATE_TEST_SUITE_P(qbars, claim11_sweep,
+                         ::testing::Values(2ull, 3ull, 10ull, 100ull, 1000ull, 10'000ull,
+                                           100'000ull, 1'000'000ull));
+
+// ---------------------------------------------------------------------------
+// Lemma 13: number of turns of an agent in [t, t+tau] is at most
+// 4 ln n / ln(L/(v tau)) w.h.p., for L/(nv) <= tau <= L/(4v).
+// ---------------------------------------------------------------------------
+
+TEST(lemma13_test, turn_counts_respect_the_bound) {
+    const std::size_t n = 10'000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double speed = 1.0;
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    // Use a modest population: the bound is per-agent w.h.p.; we check the
+    // empirical max across agents and windows stays within it.
+    const std::size_t agents = 400;
+    mobility::walker w(model, agents, speed, rng{7});
+
+    const double tau = side / (8.0 * speed);  // inside [L/(nv), L/(4v)]
+    const auto window = static_cast<std::size_t>(tau);
+    const double bound = paper::turn_bound(side, speed, tau, n);
+
+    std::vector<std::uint64_t> before(w.turn_counts().begin(), w.turn_counts().end());
+    std::size_t violations = 0;
+    std::uint64_t max_turns = 0;
+    for (int rounds = 0; rounds < 6; ++rounds) {
+        for (std::size_t s = 0; s < window; ++s) {
+            w.step();
+        }
+        const auto after = w.turn_counts();
+        for (std::size_t i = 0; i < agents; ++i) {
+            const std::uint64_t turns = after[i] - before[i];
+            max_turns = std::max(max_turns, turns);
+            if (static_cast<double>(turns) > bound) {
+                ++violations;
+            }
+            before[i] = after[i];
+        }
+    }
+    // 2400 agent-windows; the bound holds w.h.p. per window. Allow a whisker.
+    EXPECT_LE(violations, 2u) << "max observed " << max_turns << " vs bound " << bound;
+    EXPECT_GT(max_turns, 0u);
+}
+
+TEST(lemma13_test, expected_turns_scale_with_window_length) {
+    // Sanity on the mechanism: turns per window grow roughly linearly in tau
+    // (trip length has a fixed mean), far below the w.h.p. envelope.
+    const double side = 100.0;
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    mobility::walker w(model, 200, 1.0, rng{8});
+    auto turns_in = [&](std::size_t steps) {
+        std::vector<std::uint64_t> before(w.turn_counts().begin(), w.turn_counts().end());
+        for (std::size_t s = 0; s < steps; ++s) {
+            w.step();
+        }
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            total += w.turn_counts()[i] - before[i];
+        }
+        return static_cast<double>(total) / static_cast<double>(w.size());
+    };
+    const double short_window = turns_in(25);
+    const double long_window = turns_in(100);
+    EXPECT_GT(long_window, 2.0 * short_window);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 15: every Suburb point is within S of its corner, across a grid of
+// experiment configurations.
+// ---------------------------------------------------------------------------
+
+struct lemma15_case {
+    std::size_t n;
+    double c1;
+};
+
+class lemma15_sweep : public ::testing::TestWithParam<lemma15_case> {};
+
+TEST_P(lemma15_sweep, suburb_extent_at_most_s) {
+    const auto [n, c1] = GetParam();
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
+    const core::cell_partition cp(n, side, radius);
+    for (const double extent : cp.suburb_corner_extents()) {
+        EXPECT_LE(extent, cp.suburb_diameter());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(configs, lemma15_sweep,
+                         ::testing::Values(lemma15_case{2000, 2.0}, lemma15_case{2000, 3.0},
+                                           lemma15_case{10'000, 2.0}, lemma15_case{10'000, 3.0},
+                                           lemma15_case{50'000, 2.0}, lemma15_case{50'000, 3.0},
+                                           lemma15_case{200'000, 1.5},
+                                           lemma15_case{200'000, 2.0}));
+
+// ---------------------------------------------------------------------------
+// Ineq. 8 core stability: an agent in the core of a cell at time t is still in
+// the same cell at t+1 when v <= R/(3(1+sqrt5)) — the mechanism behind
+// Lemma 8's cell-to-cell propagation.
+// ---------------------------------------------------------------------------
+
+TEST(ineq8_test, core_agents_stay_in_their_cell_for_one_step) {
+    const std::size_t n = 5000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+    const double speed = paper::speed_bound(radius);
+    const core::cell_partition cp(n, side, radius);
+
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    mobility::walker w(model, n, speed, rng{11});
+    for (int t = 0; t < 30; ++t) {
+        // Record which agents are in a core, then step once.
+        std::vector<std::pair<std::size_t, std::size_t>> in_core;  // agent, cell id
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t id = cp.grid().cell_id_of(w.positions()[i]);
+            if (cp.core_of(id).contains(w.positions()[i])) {
+                in_core.emplace_back(i, id);
+            }
+        }
+        w.step();
+        for (const auto& [agent, cell] : in_core) {
+            ASSERT_EQ(cp.grid().cell_id_of(w.positions()[agent]), cell)
+                << "core agent escaped its cell within one step";
+        }
+    }
+}
+
+TEST(ineq8_test, speed_bound_is_tight_up_to_geometry) {
+    // At ~4x the bound, core agents *can* leave their cell: the property
+    // above is not vacuous.
+    const std::size_t n = 5000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+    const double speed = 4.0 * paper::speed_bound(radius) + 1.0;
+    const core::cell_partition cp(n, side, radius);
+
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    mobility::walker w(model, n, speed, rng{12});
+    std::size_t escapes = 0;
+    for (int t = 0; t < 20 && escapes == 0; ++t) {
+        std::vector<std::pair<std::size_t, std::size_t>> in_core;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t id = cp.grid().cell_id_of(w.positions()[i]);
+            if (cp.core_of(id).contains(w.positions()[i])) {
+                in_core.emplace_back(i, id);
+            }
+        }
+        w.step();
+        for (const auto& [agent, cell] : in_core) {
+            escapes += cp.grid().cell_id_of(w.positions()[agent]) != cell ? 1 : 0;
+        }
+    }
+    EXPECT_GT(escapes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 7, expectation form: every Central-Zone cell carries stationary mass
+// >= (3/8) ln n / n by construction, so its expected occupancy is >=
+// (3/8) ln n; empirically the *mean* core occupancy across CZ cells must be
+// at least a constant fraction of (core area / cell area) * (3/8) ln n.
+// ---------------------------------------------------------------------------
+
+TEST(lemma7_test, central_zone_cells_carry_expected_density) {
+    const std::size_t n = 20'000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+    const core::cell_partition cp(n, side, radius);
+
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    mobility::walker w(model, n, paper::speed_bound(radius), rng{13});
+
+    double min_cell_avg = 1e18;
+    const int rounds = 20;
+    std::vector<double> cell_totals(cp.grid().cell_count(), 0.0);
+    for (int t = 0; t < rounds; ++t) {
+        w.step();
+        for (const vec2 p : w.positions()) {
+            cell_totals[cp.grid().cell_id_of(p)] += 1.0;
+        }
+    }
+    for (std::size_t id = 0; id < cell_totals.size(); ++id) {
+        if (cp.zone_of_cell(id) == core::zone::central) {
+            min_cell_avg = std::min(min_cell_avg, cell_totals[id] / rounds);
+        }
+    }
+    // Expected >= (3/8) ln n ~ 3.7 per CZ cell; time-averaged occupancy of the
+    // *worst* CZ cell should clear half of it.
+    EXPECT_GE(min_cell_avg, 0.5 * (3.0 / 8.0) * std::log(static_cast<double>(n)));
+}
+
+TEST(lemma7_test, suburb_corner_cells_are_sparser_than_cz_cells) {
+    const std::size_t n = 20'000;
+    const double side = std::sqrt(static_cast<double>(n));
+    const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+    const core::cell_partition cp(n, side, radius);
+    ASSERT_GT(cp.suburb_cell_count(), 0u);
+
+    double min_central = 1e18;
+    double max_suburb = 0.0;
+    for (std::size_t id = 0; id < cp.grid().cell_count(); ++id) {
+        if (cp.zone_of_cell(id) == core::zone::central) {
+            min_central = std::min(min_central, cp.cell_mass(id));
+        } else {
+            max_suburb = std::max(max_suburb, cp.cell_mass(id));
+        }
+    }
+    EXPECT_GT(min_central, max_suburb);  // threshold separates the masses
+}
+
+// ---------------------------------------------------------------------------
+// Observation 5's chain of lower bounds, instantiated on real partitions.
+// ---------------------------------------------------------------------------
+
+TEST(observation5_test, cell_mass_lower_bound_holds_on_partitions) {
+    for (const std::size_t n : {2000u, 20'000u}) {
+        const double side = std::sqrt(static_cast<double>(n));
+        const double radius = 3.0 * std::sqrt(std::log(static_cast<double>(n)));
+        const core::cell_partition cp(n, side, radius);
+        const double l = cp.cell_side();
+        const double lower = manhattan::density::observation5_lower_bound(l, side);
+        const double paper_lower =
+            std::pow(radius / (paper::one_plus_sqrt5 * side), 3.0);
+        EXPECT_GE(lower, paper_lower);  // Obs. 5's final display
+        for (std::size_t id = 0; id < cp.grid().cell_count(); ++id) {
+            ASSERT_GE(cp.cell_mass(id) + 1e-15, lower);
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,411 @@
+// Unit tests for the mobility substrate: the shared advance() kinematics,
+// each model's trip geometry, the walker population driver, and the factory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "geom/vec2.h"
+#include "mobility/factory.h"
+#include "mobility/mrwp.h"
+#include "mobility/random_direction.h"
+#include "mobility/random_walk.h"
+#include "mobility/rwp.h"
+#include "mobility/static_model.h"
+#include "mobility/walker.h"
+
+namespace {
+
+namespace mobility = manhattan::mobility;
+using manhattan::geom::vec2;
+using manhattan::rng::rng;
+
+constexpr double kL = 100.0;
+
+TEST(advance_test, mid_leg_moves_exact_distance) {
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{1};
+    mobility::trip_state s;
+    s.pos = {10, 10};
+    s.waypoint = {10, 50};  // vertical leg of length 40
+    s.dest = {30, 50};
+    s.leg = 0;
+    const auto ev = mobility::advance(model, s, 7.0, g);
+    EXPECT_EQ(ev.turns, 0u);
+    EXPECT_EQ(ev.arrivals, 0u);
+    EXPECT_DOUBLE_EQ(s.pos.x, 10.0);
+    EXPECT_DOUBLE_EQ(s.pos.y, 17.0);
+    EXPECT_EQ(s.leg, 0);
+}
+
+TEST(advance_test, crossing_the_turn_point_counts_a_turn) {
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{1};
+    mobility::trip_state s;
+    s.pos = {10, 48};
+    s.waypoint = {10, 50};
+    s.dest = {30, 50};
+    s.leg = 0;
+    const auto ev = mobility::advance(model, s, 5.0, g);
+    EXPECT_EQ(ev.turns, 1u);
+    EXPECT_EQ(ev.arrivals, 0u);
+    EXPECT_EQ(s.leg, 1);
+    // 2 up then 3 right.
+    EXPECT_DOUBLE_EQ(s.pos.x, 13.0);
+    EXPECT_DOUBLE_EQ(s.pos.y, 50.0);
+    EXPECT_EQ(s.waypoint, s.dest);
+}
+
+TEST(advance_test, arrival_draws_next_trip) {
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{2};
+    mobility::trip_state s;
+    s.pos = {10, 49};
+    s.waypoint = {10, 50};
+    s.dest = {10.5, 50};
+    s.leg = 0;
+    const auto ev = mobility::advance(model, s, 3.0, g);
+    EXPECT_GE(ev.arrivals, 1u);
+    // After arriving at (10.5, 50) the agent continues on a fresh trip and
+    // has consumed exactly distance 3 in Manhattan metric along the way.
+    EXPECT_TRUE(s.pos.x >= 0 && s.pos.x <= kL && s.pos.y >= 0 && s.pos.y <= kL);
+}
+
+TEST(advance_test, zero_distance_is_a_no_op) {
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{3};
+    mobility::trip_state s = model.stationary_state(g);
+    const mobility::trip_state before = s;
+    const auto ev = mobility::advance(model, s, 0.0, g);
+    EXPECT_EQ(ev.turns, 0u);
+    EXPECT_EQ(before.pos, s.pos);
+}
+
+TEST(advance_test, static_model_terminates) {
+    mobility::static_model model(kL);
+    rng g{4};
+    mobility::trip_state s = model.stationary_state(g);
+    const vec2 before = s.pos;
+    const auto ev = mobility::advance(model, s, 1e9, g);  // must not spin forever
+    EXPECT_EQ(before, s.pos);
+    (void)ev;
+}
+
+TEST(advance_test, mrwp_step_displacement_is_at_most_v_in_l1) {
+    // Within a trip the Manhattan displacement per unit distance is exactly 1;
+    // arrivals can only shorten the net displacement.
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{5};
+    mobility::trip_state s = model.stationary_state(g);
+    for (int i = 0; i < 2000; ++i) {
+        const vec2 before = s.pos;
+        const auto ev = mobility::advance(model, s, 2.5, g);
+        const double l1 = manhattan::geom::manhattan_dist(before, s.pos);
+        ASSERT_LE(l1, 2.5 + 1e-9);
+        if (ev.arrivals == 0) {
+            ASSERT_NEAR(l1, 2.5, 1e-9);  // exact while on one trip
+        }
+    }
+}
+
+TEST(mrwp_test, begin_trip_is_axis_aligned) {
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{6};
+    for (int i = 0; i < 500; ++i) {
+        mobility::trip_state s;
+        s.pos = {g.uniform(0, kL), g.uniform(0, kL)};
+        model.begin_trip(s, g);
+        EXPECT_EQ(s.leg, 0);
+        // The turn point shares a coordinate with both endpoints.
+        const bool p1 = (s.waypoint.x == s.pos.x) && (s.waypoint.y == s.dest.y);
+        const bool p2 = (s.waypoint.y == s.pos.y) && (s.waypoint.x == s.dest.x);
+        EXPECT_TRUE(p1 || p2);
+        EXPECT_TRUE(s.dest.x >= 0 && s.dest.x <= kL && s.dest.y >= 0 && s.dest.y <= kL);
+    }
+}
+
+TEST(mrwp_test, both_manhattan_paths_are_used) {
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{7};
+    int vertical_first = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        mobility::trip_state s;
+        s.pos = {kL / 2, kL / 2};
+        model.begin_trip(s, g);
+        if (s.waypoint.x == s.pos.x && s.waypoint.y != s.pos.y) {
+            ++vertical_first;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(vertical_first) / n, 0.5, 0.05);
+}
+
+TEST(mrwp_test, length_biased_trip_mean_is_five_sixths_l) {
+    // Uniform trips have E[d_1] = 2L/3; length-biasing raises it to
+    // E[d^2]/E[d] = (5L^2/9)/(2L/3) = 5L/6.
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{8};
+    double sum = 0.0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        const auto trip = model.sample_length_biased_trip(g);
+        sum += manhattan::geom::manhattan_dist(trip.start, trip.dest);
+    }
+    EXPECT_NEAR(sum / n / kL, 5.0 / 6.0, 0.005);
+}
+
+TEST(mrwp_test, stationary_state_is_on_its_path) {
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{9};
+    for (int i = 0; i < 2000; ++i) {
+        const auto s = model.stationary_state(g);
+        if (s.leg == 0) {
+            // First leg: pos is axis-aligned with the waypoint.
+            EXPECT_TRUE(s.pos.x == s.waypoint.x || s.pos.y == s.waypoint.y);
+        } else {
+            EXPECT_EQ(s.waypoint, s.dest);
+            // Final leg of a Manhattan path: axis-aligned with dest.
+            EXPECT_TRUE(std::abs(s.pos.x - s.dest.x) < 1e-9 ||
+                        std::abs(s.pos.y - s.dest.y) < 1e-9);
+        }
+    }
+}
+
+TEST(mrwp_test, stationary_final_leg_probability_is_one_half) {
+    // Theorem 2's cross identity seen from the sampler's side.
+    mobility::manhattan_random_waypoint model(kL);
+    rng g{10};
+    int final_leg = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        final_leg += model.stationary_state(g).on_final_leg() ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(final_leg) / n, 0.5, 0.01);
+}
+
+TEST(rwp_test, trips_are_single_straight_legs) {
+    mobility::random_waypoint model(kL);
+    rng g{11};
+    mobility::trip_state s;
+    s.pos = {1, 1};
+    model.begin_trip(s, g);
+    EXPECT_EQ(s.leg, 1);
+    EXPECT_EQ(s.waypoint, s.dest);
+}
+
+TEST(rwp_test, stationary_state_lies_on_segment) {
+    mobility::random_waypoint model(kL);
+    rng g{12};
+    for (int i = 0; i < 1000; ++i) {
+        const auto s = model.stationary_state(g);
+        EXPECT_TRUE(s.pos.x >= 0 && s.pos.x <= kL && s.pos.y >= 0 && s.pos.y <= kL);
+        EXPECT_EQ(s.leg, 1);
+    }
+}
+
+TEST(random_walk_test, steps_bounded_by_rho) {
+    const double rho = 5.0;
+    mobility::random_walk model(kL, rho);
+    rng g{13};
+    mobility::trip_state s;
+    s.pos = {50, 50};
+    for (int i = 0; i < 1000; ++i) {
+        model.begin_trip(s, g);
+        ASSERT_LE(manhattan::geom::dist(s.pos, s.dest), rho + 1e-9);
+        ASSERT_TRUE(s.dest.x >= 0 && s.dest.x <= kL && s.dest.y >= 0 && s.dest.y <= kL);
+        s.pos = s.dest;
+    }
+}
+
+TEST(random_walk_test, corner_position_still_terminates) {
+    mobility::random_walk model(kL, 5.0);
+    rng g{14};
+    mobility::trip_state s;
+    s.pos = {0, 0};
+    for (int i = 0; i < 100; ++i) {
+        model.begin_trip(s, g);
+        ASSERT_TRUE(s.dest.x >= 0 && s.dest.y >= 0);
+    }
+}
+
+TEST(random_walk_test, validates_rho) {
+    EXPECT_THROW((void)mobility::random_walk(kL, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)mobility::random_walk(kL, kL * 2), std::invalid_argument);
+}
+
+TEST(random_direction_test, legs_bounded_and_inside) {
+    const double max_leg = 20.0;
+    mobility::random_direction model(kL, max_leg);
+    rng g{15};
+    mobility::trip_state s;
+    s.pos = {50, 50};
+    for (int i = 0; i < 1000; ++i) {
+        model.begin_trip(s, g);
+        ASSERT_LE(manhattan::geom::dist(s.pos, s.dest), max_leg + 1e-9);
+        ASSERT_TRUE(s.dest.x >= -1e-12 && s.dest.x <= kL + 1e-12);
+        ASSERT_TRUE(s.dest.y >= -1e-12 && s.dest.y <= kL + 1e-12);
+        s.pos = s.dest;
+    }
+}
+
+TEST(random_direction_test, border_start_never_escapes) {
+    mobility::random_direction model(kL, 50.0);
+    rng g{16};
+    mobility::trip_state s;
+    s.pos = {0, 0};
+    for (int i = 0; i < 500; ++i) {
+        model.begin_trip(s, g);
+        ASSERT_TRUE(s.dest.x >= 0 && s.dest.x <= kL);
+        ASSERT_TRUE(s.dest.y >= 0 && s.dest.y <= kL);
+        s.pos = s.dest;
+    }
+}
+
+TEST(static_model_test, never_moves) {
+    auto model = std::make_shared<mobility::static_model>(kL);
+    mobility::walker w(model, 10, 3.0, rng{17});
+    const auto before = std::vector<vec2>(w.positions().begin(), w.positions().end());
+    for (int i = 0; i < 10; ++i) {
+        w.step();
+    }
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        EXPECT_EQ(w.positions()[i], before[i]);
+    }
+}
+
+TEST(walker_test, construction_validates) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    EXPECT_THROW((void)mobility::walker(nullptr, 10, 1.0, rng{1}), std::invalid_argument);
+    EXPECT_THROW((void)mobility::walker(model, 0, 1.0, rng{1}), std::invalid_argument);
+    EXPECT_THROW((void)mobility::walker(model, 10, -1.0, rng{1}), std::invalid_argument);
+}
+
+TEST(walker_test, positions_track_agents) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    mobility::walker w(model, 50, 1.0, rng{18});
+    for (int i = 0; i < 20; ++i) {
+        w.step();
+    }
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        EXPECT_EQ(w.positions()[i], w.agent(i).pos);
+    }
+    EXPECT_EQ(w.steps_taken(), 20u);
+}
+
+TEST(walker_test, same_seed_reproduces_exactly) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    mobility::walker a(model, 30, 1.5, rng{99});
+    mobility::walker b(model, 30, 1.5, rng{99});
+    for (int i = 0; i < 50; ++i) {
+        a.step();
+        b.step();
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.positions()[i], b.positions()[i]);
+    }
+}
+
+TEST(walker_test, turn_counts_grow_with_time) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    mobility::walker w(model, 20, 5.0, rng{20});
+    std::uint64_t before = 0;
+    for (const auto c : w.turn_counts()) {
+        before += c;
+    }
+    for (int i = 0; i < 200; ++i) {
+        w.step();
+    }
+    std::uint64_t after = 0;
+    for (const auto c : w.turn_counts()) {
+        after += c;
+    }
+    EXPECT_GT(after, before);
+}
+
+TEST(walker_test, agents_stay_inside_the_square) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    mobility::walker w(model, 100, 2.0, rng{21});
+    for (int i = 0; i < 200; ++i) {
+        w.step();
+        for (const vec2 p : w.positions()) {
+            ASSERT_GE(p.x, -1e-9);
+            ASSERT_LE(p.x, kL + 1e-9);
+            ASSERT_GE(p.y, -1e-9);
+            ASSERT_LE(p.y, kL + 1e-9);
+        }
+    }
+}
+
+TEST(walker_test, advance_time_matches_total_distance_budget) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    mobility::walker w(model, 10, 2.0, rng{22});
+    EXPECT_THROW((void)w.advance_time(-1.0), std::invalid_argument);
+    const auto before = std::vector<vec2>(w.positions().begin(), w.positions().end());
+    w.advance_time(3.0);  // budget 6.0 per agent
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        ASSERT_LE(manhattan::geom::manhattan_dist(before[i], w.positions()[i]), 6.0 + 1e-9);
+    }
+}
+
+TEST(walker_test, set_agent_overrides_state) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    mobility::walker w(model, 5, 1.0, rng{23});
+    mobility::trip_state s;
+    s.pos = {1, 2};
+    s.waypoint = {1, 2};
+    s.dest = {1, 2};
+    s.leg = 1;
+    w.set_agent(3, s);
+    EXPECT_EQ(w.positions()[3], (vec2{1, 2}));
+    EXPECT_THROW((void)w.set_agent(99, s), std::out_of_range);
+}
+
+TEST(walker_test, uniform_fresh_start_supported) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+    mobility::walker w(model, 40, 1.0, rng{24}, mobility::start_mode::uniform_fresh);
+    EXPECT_EQ(w.size(), 40u);
+    for (const vec2 p : w.positions()) {
+        ASSERT_TRUE(p.x >= 0 && p.x <= kL && p.y >= 0 && p.y <= kL);
+    }
+}
+
+TEST(factory_test, parse_round_trips) {
+    using mobility::model_kind;
+    EXPECT_EQ(mobility::parse_model_kind("mrwp"), model_kind::mrwp);
+    EXPECT_EQ(mobility::parse_model_kind("rwp"), model_kind::rwp);
+    EXPECT_EQ(mobility::parse_model_kind("random_walk"), model_kind::random_walk);
+    EXPECT_EQ(mobility::parse_model_kind("random_direction"), model_kind::random_direction);
+    EXPECT_EQ(mobility::parse_model_kind("static"), model_kind::static_agents);
+    EXPECT_THROW((void)mobility::parse_model_kind("levy"), std::invalid_argument);
+}
+
+TEST(factory_test, constructs_each_kind_with_expected_name) {
+    using mobility::model_kind;
+    EXPECT_EQ(mobility::make_model(model_kind::mrwp, kL)->name(), "mrwp");
+    EXPECT_EQ(mobility::make_model(model_kind::rwp, kL)->name(), "rwp");
+    EXPECT_EQ(mobility::make_model(model_kind::random_walk, kL)->name(), "random_walk");
+    EXPECT_EQ(mobility::make_model(model_kind::random_direction, kL)->name(),
+              "random_direction");
+    EXPECT_EQ(mobility::make_model(model_kind::static_agents, kL)->name(), "static");
+}
+
+TEST(factory_test, default_options_scale_with_side) {
+    using mobility::model_kind;
+    const auto walk = mobility::make_model(model_kind::random_walk, kL);
+    const auto* as_walk = dynamic_cast<const mobility::random_walk*>(walk.get());
+    ASSERT_NE(as_walk, nullptr);
+    EXPECT_DOUBLE_EQ(as_walk->step_radius(), kL / 10.0);
+
+    mobility::model_options opts;
+    opts.walk_step_radius = 2.5;
+    const auto walk2 = mobility::make_model(model_kind::random_walk, kL, opts);
+    EXPECT_DOUBLE_EQ(dynamic_cast<const mobility::random_walk*>(walk2.get())->step_radius(),
+                     2.5);
+}
+
+TEST(model_test, side_must_be_positive) {
+    EXPECT_THROW((void)mobility::manhattan_random_waypoint(-1.0), std::invalid_argument);
+    EXPECT_THROW((void)mobility::random_waypoint(0.0), std::invalid_argument);
+}
+
+}  // namespace

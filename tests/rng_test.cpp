@@ -1,0 +1,249 @@
+// Unit tests for the rng module: engine determinism, stream splitting, and
+// the distributional correctness of every sampler the simulation relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/rng.h"
+#include "rng/splitmix64.h"
+#include "rng/xoshiro256.h"
+#include "stats/gof.h"
+
+namespace {
+
+using manhattan::rng::rng;
+using manhattan::rng::splitmix64;
+using manhattan::rng::xoshiro256pp;
+
+TEST(splitmix64_test, deterministic_for_equal_seeds) {
+    splitmix64 a{42};
+    splitmix64 b{42};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(splitmix64_test, different_seeds_diverge) {
+    splitmix64 a{1};
+    splitmix64 b{2};
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += (a() == b()) ? 1 : 0;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(splitmix64_test, nonzero_output_from_zero_seed) {
+    splitmix64 a{0};
+    EXPECT_NE(a(), 0u);
+}
+
+TEST(xoshiro_test, deterministic_for_equal_seeds) {
+    xoshiro256pp a{7};
+    xoshiro256pp b{7};
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a(), b());
+    }
+}
+
+TEST(xoshiro_test, long_jump_decorrelates_stream) {
+    xoshiro256pp a{7};
+    xoshiro256pp b{7};
+    b.long_jump();
+    int equal = 0;
+    for (int i = 0; i < 256; ++i) {
+        equal += (a() == b()) ? 1 : 0;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(xoshiro_test, no_short_cycle_in_first_million) {
+    xoshiro256pp a{3};
+    const std::uint64_t first = a();
+    for (int i = 0; i < 1'000'000; ++i) {
+        if (a() == first) {
+            // A single value collision is fine; a full state cycle would
+            // repeat deterministically — check the next draw too.
+            xoshiro256pp fresh{3};
+            (void)fresh();
+            ASSERT_NE(a(), fresh());
+            return;
+        }
+    }
+    SUCCEED();
+}
+
+TEST(rng_test, uniform01_range_and_moments) {
+    rng g{12345};
+    const int n = 200'000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double u = g.uniform01();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+        sum_sq += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.005);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(rng_test, uniform_respects_bounds) {
+    rng g{5};
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = g.uniform(-3.5, 12.25);
+        ASSERT_GE(u, -3.5);
+        ASSERT_LT(u, 12.25);
+    }
+}
+
+TEST(rng_test, uniform_index_bounds) {
+    rng g{99};
+    for (int i = 0; i < 10'000; ++i) {
+        ASSERT_LT(g.uniform_index(17), 17u);
+    }
+}
+
+TEST(rng_test, uniform_index_one_is_always_zero) {
+    rng g{99};
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(g.uniform_index(1), 0u);
+    }
+}
+
+TEST(rng_test, uniform_index_is_unbiased_chi_square) {
+    rng g{2024};
+    constexpr std::uint64_t buckets = 10;
+    std::vector<std::uint64_t> counts(buckets, 0);
+    const int n = 500'000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[g.uniform_index(buckets)];
+    }
+    const std::vector<double> expected(buckets, 1.0 / buckets);
+    const double stat = manhattan::stats::chi_square_statistic(counts, expected);
+    EXPECT_LT(stat, manhattan::stats::chi_square_critical(buckets - 1));
+}
+
+TEST(rng_test, bernoulli_edge_cases) {
+    rng g{1};
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_FALSE(g.bernoulli(0.0));
+        ASSERT_TRUE(g.bernoulli(1.0));
+    }
+}
+
+TEST(rng_test, bernoulli_frequency) {
+    rng g{8};
+    const int n = 200'000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+        hits += g.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.005);
+}
+
+TEST(rng_test, coin_is_fair) {
+    rng g{77};
+    const int n = 200'000;
+    int heads = 0;
+    for (int i = 0; i < n; ++i) {
+        heads += g.coin() ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.005);
+}
+
+TEST(rng_test, beta22_matches_cdf) {
+    // Beta(2,2) cdf on [0,1] is 3u^2 - 2u^3.
+    rng g{31337};
+    std::vector<double> sample;
+    const int n = 50'000;
+    sample.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        sample.push_back(g.beta22());
+    }
+    const double ks = manhattan::stats::ks_statistic(
+        sample, [](double u) { return u <= 0 ? 0.0 : u >= 1 ? 1.0 : 3 * u * u - 2 * u * u * u; });
+    EXPECT_LT(ks, manhattan::stats::ks_critical(n));
+}
+
+TEST(rng_test, beta22_moments) {
+    rng g{4};
+    const int n = 200'000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double u = g.beta22();
+        sum += u;
+        sum_sq += u * u;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 0.5, 0.005);
+    EXPECT_NEAR(sum_sq / n - mean * mean, 0.05, 0.003);  // Var Beta(2,2) = 1/20
+}
+
+TEST(rng_test, exponential_mean) {
+    rng g{6};
+    const int n = 200'000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double e = g.exponential(2.0);
+        ASSERT_GE(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(rng_test, split_streams_are_distinct_and_deterministic) {
+    rng parent{100};
+    rng child = parent.split();
+
+    rng parent2{100};
+    rng child2 = parent2.split();
+
+    // Determinism: the same construction yields the same streams.
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(child.bits(), child2.bits());
+        ASSERT_EQ(parent.bits(), parent2.bits());
+    }
+    // Distinctness: child and parent disagree.
+    rng p3{100};
+    rng c3 = p3.split();
+    int equal = 0;
+    for (int i = 0; i < 256; ++i) {
+        equal += (p3.bits() == c3.bits()) ? 1 : 0;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+class rng_seed_sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(rng_seed_sweep, uniform01_mean_is_half_for_every_seed) {
+    rng g{GetParam()};
+    const int n = 100'000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += g.uniform01();
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST_P(rng_seed_sweep, beta22_median_of_three_stays_in_unit_interval) {
+    rng g{GetParam()};
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = g.beta22();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LE(u, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, rng_seed_sweep,
+                         ::testing::Values(0ull, 1ull, 2ull, 42ull, 0xdeadbeefull,
+                                           0xffffffffffffffffull));
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Unit tests for the util module: table rendering, heatmaps, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/cli.h"
+#include "util/heatmap.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+namespace util = manhattan::util;
+
+TEST(table_test, markdown_small_exact) {
+    util::table t({"a", "bb"});
+    t.add_row({"1", "2"});
+    const std::string expected =
+        "| a | bb |\n"
+        "|--:|---:|\n"
+        "| 1 |  2 |\n";
+    EXPECT_EQ(t.markdown(), expected);
+}
+
+TEST(table_test, markdown_pads_to_widest_cell) {
+    util::table t({"x"});
+    t.add_row({"12345"});
+    const std::string md = t.markdown();
+    EXPECT_NE(md.find("| 12345 |"), std::string::npos);
+    EXPECT_NE(md.find("|     x |"), std::string::npos);
+}
+
+TEST(table_test, left_alignment) {
+    util::table t({"x"});
+    t.add_row({"ab"});
+    const std::string md = t.markdown(util::align::left);
+    EXPECT_NE(md.find("| x  |"), std::string::npos);
+    EXPECT_NE(md.find("| ab |"), std::string::npos);
+}
+
+TEST(table_test, short_rows_are_padded) {
+    util::table t({"a", "b", "c"});
+    t.add_row({"1"});
+    EXPECT_EQ(t.row_count(), 1u);
+    EXPECT_NO_THROW(t.markdown());
+}
+
+TEST(table_test, too_long_row_throws) {
+    util::table t({"a"});
+    EXPECT_THROW((void)t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(table_test, csv_quoting) {
+    util::table t({"name", "value"});
+    t.add_row({"with,comma", "with\"quote"});
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(table_test, fmt_doubles) {
+    EXPECT_EQ(util::fmt(3.14159, 3), "3.14");
+    EXPECT_EQ(util::fmt(1000000.0, 4), "1e+06");
+    EXPECT_EQ(util::fmt(0.0), "0");
+    EXPECT_EQ(util::fmt(std::nan(""), 4), "nan");
+    EXPECT_EQ(util::fmt(1.0 / 0.0, 4), "inf");
+}
+
+TEST(table_test, fmt_integers_and_bools) {
+    EXPECT_EQ(util::fmt(42), "42");
+    EXPECT_EQ(util::fmt(std::size_t{7}), "7");
+    EXPECT_EQ(util::fmt(-3LL), "-3");
+    EXPECT_EQ(util::fmt_bool(true), "yes");
+    EXPECT_EQ(util::fmt_bool(false), "no");
+}
+
+TEST(heatmap_test, construction_validates) {
+    EXPECT_THROW((void)util::heatmap(0, 3), std::invalid_argument);
+    EXPECT_THROW((void)util::heatmap(3, 0), std::invalid_argument);
+}
+
+TEST(heatmap_test, deposit_and_extrema) {
+    util::heatmap h(2, 3);
+    h.deposit(0, 0, 5.0);
+    h.deposit(1, 2, -2.0);
+    EXPECT_DOUBLE_EQ(h.max_value(), 5.0);
+    EXPECT_DOUBLE_EQ(h.min_value(), -2.0);
+    EXPECT_DOUBLE_EQ(h.at(0, 0), 5.0);
+    EXPECT_THROW((void)h.at(2, 0), std::out_of_range);
+}
+
+TEST(heatmap_test, scale) {
+    util::heatmap h(1, 2, 1.0);
+    h.scale(3.0);
+    EXPECT_DOUBLE_EQ(h.at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(h.at(0, 1), 3.0);
+}
+
+TEST(heatmap_test, ascii_dimensions_and_extremes) {
+    util::heatmap h(2, 4);
+    h.deposit(0, 0, 1.0);
+    const std::string art = h.ascii();
+    // 2 lines of 4 chars + newlines.
+    EXPECT_EQ(art.size(), 2u * 5u);
+    // Max value renders darkest ('@'), min lightest (' ').
+    EXPECT_NE(art.find('@'), std::string::npos);
+    EXPECT_NE(art.find(' '), std::string::npos);
+}
+
+TEST(heatmap_test, ascii_renders_bottom_row_last) {
+    util::heatmap h(2, 1);
+    h.deposit(1, 0, 1.0);  // top row dark
+    const std::string art = h.ascii();
+    EXPECT_EQ(art[0], '@');   // first printed char = top row
+    EXPECT_EQ(art[2], ' ');   // bottom row light
+}
+
+TEST(heatmap_test, csv_row_count) {
+    util::heatmap h(3, 2, 1.5);
+    const std::string csv = h.csv();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(cli_test, parses_typed_values) {
+    const char* argv[] = {"prog", "--n=500", "--speed=0.25", "--name=mrwp", "--verbose"};
+    const util::cli_args args(5, argv);
+    EXPECT_EQ(args.get_int("n", 0), 500);
+    EXPECT_DOUBLE_EQ(args.get_double("speed", 0.0), 0.25);
+    EXPECT_EQ(args.get_string("name", ""), "mrwp");
+    EXPECT_TRUE(args.get_bool("verbose", false));
+    EXPECT_TRUE(args.has("n"));
+    EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(cli_test, fallbacks) {
+    const char* argv[] = {"prog"};
+    const util::cli_args args(1, argv);
+    EXPECT_EQ(args.get_int("n", 42), 42);
+    EXPECT_DOUBLE_EQ(args.get_double("speed", 1.5), 1.5);
+    EXPECT_EQ(args.get_string("name", "default"), "default");
+    EXPECT_FALSE(args.get_bool("verbose", false));
+}
+
+TEST(cli_test, bool_spellings) {
+    const char* argv[] = {"prog", "--a=true", "--b=yes", "--c=0", "--d=false"};
+    const util::cli_args args(5, argv);
+    EXPECT_TRUE(args.get_bool("a", false));
+    EXPECT_TRUE(args.get_bool("b", false));
+    EXPECT_FALSE(args.get_bool("c", true));
+    EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(cli_test, rejects_positional_arguments) {
+    const char* argv[] = {"prog", "oops"};
+    EXPECT_THROW((void)util::cli_args(2, argv), std::invalid_argument);
+}
+
+TEST(timer_test, elapsed_is_monotone_nonnegative) {
+    util::timer t;
+    const double a = t.seconds();
+    const double b = t.seconds();
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, a);
+    t.reset();
+    EXPECT_GE(t.seconds(), 0.0);
+}
+
+}  // namespace
