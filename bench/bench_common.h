@@ -6,9 +6,16 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/params.h"
+#include "engine/runner.h"
+#include "engine/sink.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -35,5 +42,94 @@ inline core::net_params standard_params(std::size_t n, double c1, double speed) 
 inline double default_speed(double radius) {
     return core::paper::speed_bound(radius);
 }
+
+/// A non-negative CLI count (a negative value would wrap through size_t
+/// into an absurd allocation; fail with the flag's name instead).
+inline std::size_t count_arg(const util::cli_args& args, const std::string& key,
+                             long long fallback) {
+    const long long value = args.get_int(key, fallback);
+    if (value < 0) {
+        throw std::invalid_argument("--" + key + " must be non-negative, got " +
+                                    std::to_string(value));
+    }
+    return static_cast<std::size_t>(value);
+}
+
+/// Engine execution knobs every binary shares: `--threads=` (0 = all cores)
+/// and `--chunk=` (replicas per work unit). Results are identical for any
+/// value of either — they only change wall-clock time.
+inline engine::run_options engine_options(const util::cli_args& args) {
+    engine::run_options opts;
+    opts.threads = count_arg(args, "threads", 0);
+    opts.chunk = count_arg(args, "chunk", 1);
+    return opts;
+}
+
+/// Replica count: `--reps=` with `--seeds=` as a legacy alias.
+inline std::size_t replicas(const util::cli_args& args, long long fallback) {
+    return count_arg(args, "reps", args.get_int("seeds", fallback));
+}
+
+/// The sinks a sweep binary feeds: add your own (usually a memory_sink for
+/// verdict logic) and `--csv=FILE` / `--json=FILE` attach file sinks too.
+/// One sink_set may feed several run_sweep calls (their rows append to the
+/// same files); the destructor finalises the file sinks.
+class sink_set {
+ public:
+    /// Throws std::invalid_argument when a requested file cannot be opened
+    /// (a sweep that silently drops its results is worse than no sweep).
+    explicit sink_set(const util::cli_args& args) {
+        if (args.has("csv")) {
+            const auto path = args.get_string("csv", "");
+            csv_stream_.open(path);
+            if (!csv_stream_) {
+                throw std::invalid_argument("sink_set: cannot open --csv file '" + path + "'");
+            }
+            csv_.emplace(csv_stream_);
+            sinks_.push_back(&*csv_);
+        }
+        if (args.has("json")) {
+            const auto path = args.get_string("json", "");
+            json_stream_.open(path);
+            if (!json_stream_) {
+                throw std::invalid_argument("sink_set: cannot open --json file '" + path +
+                                            "'");
+            }
+            json_.emplace(json_stream_);
+            sinks_.push_back(&*json_);
+        }
+    }
+
+    ~sink_set() { finish(); }
+
+    void add(engine::result_sink* sink) { sinks_.push_back(sink); }
+
+    [[nodiscard]] std::span<engine::result_sink* const> span() const noexcept {
+        return sinks_;
+    }
+
+    /// The attached sinks plus \p extra — for feeding one sweep an
+    /// additional sink (e.g. its own memory_sink) without registering it
+    /// for every later sweep in the binary.
+    [[nodiscard]] std::vector<engine::result_sink*> with(engine::result_sink* extra) const {
+        std::vector<engine::result_sink*> all(sinks_.begin(), sinks_.end());
+        all.push_back(extra);
+        return all;
+    }
+
+    /// Finalise every attached sink (idempotent for the file sinks).
+    void finish() {
+        for (engine::result_sink* sink : sinks_) {
+            sink->finish();
+        }
+    }
+
+ private:
+    std::ofstream csv_stream_;
+    std::ofstream json_stream_;
+    std::optional<engine::csv_sink> csv_;
+    std::optional<engine::json_sink> json_;
+    std::vector<engine::result_sink*> sinks_;
+};
 
 }  // namespace manhattan::bench

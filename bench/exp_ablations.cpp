@@ -7,22 +7,27 @@
 //   (3) perfect stationary start vs uniform start with/without warm-up —
 //       quantifies what "stationary phase" buys;
 //   (4) informing radius R vs the meeting radius (3/4) R of the Suburb
-//       analysis — the protocol constant the proof gives away.
+//       analysis — the protocol constant the proof gives away;
+//   (5) gossip forwarding probability p: the one_hop protocol is the p = 1
+//       end of a p-sweep; lossy forwarding can only slow the spread.
 //
-// Knobs: --n=16000 --c1=3 --seeds=3 --seed=1
+// (1) and (5) run as declarative engine sweeps; every replica batch fans
+// over all cores. Knobs: --n=16000 --c1=3 --reps=3 --seed=1 --threads=0
 #include <cstdio>
 
 #include "bench_common.h"
 #include "core/cell_partition.h"
 #include "core/scenario.h"
+#include "engine/sweep.h"
 #include "stats/summary.h"
 
 using namespace manhattan;
 
 namespace {
 
-double mean_time(core::scenario sc, std::size_t seeds) {
-    return stats::summarize(core::flooding_times(sc, seeds)).mean;
+double mean_time(const core::scenario& sc, std::size_t reps,
+                 const engine::run_options& opts) {
+    return stats::summarize(engine::flooding_times(sc, reps, opts)).mean;
 }
 
 }  // namespace
@@ -31,10 +36,11 @@ int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
     const auto n = static_cast<std::size_t>(args.get_int("n", 16'000));
     const double c1 = args.get_double("c1", 3.0);
-    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+    const std::size_t reps = bench::replicas(args, 3);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto opts = bench::engine_options(args);
 
-    bench::banner("ABL", "ablations: protocol semantics, cell side, start law, radius");
+    bench::banner("ABL", "ablations: protocol semantics, cell side, start law, radius, gossip");
 
     core::scenario base;
     base.params = bench::standard_params(n, c1, 0.0);
@@ -44,11 +50,19 @@ int main(int argc, char** argv) {
 
     util::table t({"ablation", "variant", "mean T", "note"});
 
-    // (1) propagation semantics.
-    const double one_hop = mean_time(base, seeds);
-    core::scenario comp = base;
-    comp.mode = core::propagation::per_component;
-    const double per_component = mean_time(comp, seeds);
+    // One sink_set spans both engine sweeps below, so --csv/--json capture
+    // the propagation AND gossip rows in a single file.
+    bench::sink_set file_sinks(args);
+
+    // (1) propagation semantics, as a mode-axis sweep.
+    engine::sweep_spec prop_spec;
+    prop_spec.base = base;
+    prop_spec.repetitions = reps;
+    prop_spec.mode = {core::propagation::one_hop, core::propagation::per_component};
+    engine::memory_sink prop_rows;
+    (void)engine::run_sweep(prop_spec, opts, file_sinks.with(&prop_rows));
+    const double one_hop = prop_rows.rows()[0].summary.mean;
+    const double per_component = prop_rows.rows()[1].summary.mean;
     t.add_row({"propagation", "one hop (paper)", util::fmt(one_hop), "reference"});
     t.add_row({"propagation", "per component", util::fmt(per_component),
                "lower bound on any per-step semantics"});
@@ -77,10 +91,10 @@ int main(int argc, char** argv) {
     // (3) start law.
     core::scenario cold = base;
     cold.stationary_start = false;
-    const double uniform_start = mean_time(cold, seeds);
+    const double uniform_start = mean_time(cold, reps, opts);
     core::scenario warmed = cold;
     warmed.warmup_time = 5.0 * base.params.side / base.params.speed / 4.0;
-    const double warmed_start = mean_time(warmed, seeds);
+    const double warmed_start = mean_time(warmed, reps, opts);
     t.add_row({"start law", "perfect sample (paper)", util::fmt(one_hop), "reference"});
     t.add_row({"start law", "uniform, no warm-up", util::fmt(uniform_start),
                "pre-stationary snapshot"});
@@ -91,14 +105,34 @@ int main(int argc, char** argv) {
     core::scenario meeting = base;
     meeting.params.radius = core::paper::meeting_radius(base.params.radius);
     meeting.params.speed = base.params.speed;  // keep v fixed: isolate the radius
-    const double meeting_t = mean_time(meeting, seeds);
+    const double meeting_t = mean_time(meeting, reps, opts);
     t.add_row({"radius", "R (protocol)", util::fmt(one_hop), "reference"});
     t.add_row({"radius", "(3/4) R (meeting radius)", util::fmt(meeting_t),
                "the slack Lemma 16's analysis gives away"});
 
+    // (5) gossip forwarding probability, as a gossip_p-axis sweep. Replicas
+    // share walker trajectories with the reference (same seeds), so dropped
+    // transmissions can only delay informing times: T(p) >= T(1) = one_hop.
+    engine::sweep_spec gossip_spec;
+    gossip_spec.base = base;
+    gossip_spec.repetitions = reps;
+    gossip_spec.gossip_p = {1.0, 0.5, 0.25};
+    engine::memory_sink gossip_rows;
+    (void)engine::run_sweep(gossip_spec, opts, file_sinks.with(&gossip_rows));
+    for (const auto& row : gossip_rows.rows()) {
+        const double p = row.point.sc.gossip_p;
+        t.add_row({"gossip", "p = " + util::fmt(p), util::fmt(row.summary.mean),
+                   p == 1.0 ? "must equal one hop exactly" : "lossy forwarding"});
+    }
+    const double gossip_full = gossip_rows.rows()[0].summary.mean;
+    const double gossip_half = gossip_rows.rows()[1].summary.mean;
+    const double gossip_quarter = gossip_rows.rows()[2].summary.mean;
+
     std::printf("%s", t.markdown().c_str());
-    bench::verdict(per_component <= one_hop && meeting_t >= one_hop,
+    bench::verdict(per_component <= one_hop && meeting_t >= one_hop &&
+                       gossip_full == one_hop && gossip_half >= one_hop &&
+                       gossip_quarter >= one_hop,
                    "component-flooding lower-bounds the protocol; shrinking R to the "
-                   "meeting radius only slows flooding");
+                   "meeting radius or dropping transmissions only slows flooding");
     return 0;
 }

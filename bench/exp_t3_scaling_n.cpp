@@ -3,12 +3,14 @@
 // and optimal, so the measured time normalised by L/R must stay flat as n
 // grows 16x.
 //
-// Knobs: --c1=3 --seeds=3 --seed=1
+// The n-sweep is a declarative engine::sweep_spec fanned over all cores.
+// Knobs: --c1=3 --reps=3 --seed=1 --threads=0 --csv=FILE --json=FILE
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/scenario.h"
+#include "engine/sweep.h"
 #include "stats/fit.h"
 #include "stats/summary.h"
 
@@ -17,28 +19,36 @@ using namespace manhattan;
 int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
     const double c1 = args.get_double("c1", 3.0);
-    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+    const std::size_t reps = bench::replicas(args, 3);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
     bench::banner("T3c", "Theorem 3: scaling with n at L = sqrt(n), R = c1 sqrt(ln n)");
 
+    engine::sweep_spec spec;
+    spec.base.source = core::source_placement::center_most;
+    spec.base.seed = seed0;
+    spec.base.max_steps = 500'000;
+    spec.repetitions = reps;
+    spec.n = {4000, 8000, 16'000, 32'000, 64'000};
+    spec.c1 = {c1};
+    spec.speed_factor = {1.0};
+
+    engine::memory_sink memory;
+    bench::sink_set sinks(args);
+    sinks.add(&memory);
+    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span());
+
     util::table t({"n", "L", "R", "mean T", "sd", "L/R", "T / (L/R)"});
     std::vector<double> ns;
     std::vector<double> ratios;
-    for (const std::size_t n : {4000u, 8000u, 16'000u, 32'000u, 64'000u}) {
-        core::scenario sc;
-        sc.params = bench::standard_params(n, c1, 0.0);
-        sc.params.speed = bench::default_speed(sc.params.radius);
-        sc.source = core::source_placement::center_most;
-        sc.seed = seed0;
-        sc.max_steps = 500'000;
-        const auto s = stats::summarize(core::flooding_times(sc, seeds));
-        const double l_over_r = sc.params.side / sc.params.radius;
-        ns.push_back(static_cast<double>(n));
-        ratios.push_back(s.mean / l_over_r);
-        t.add_row({util::fmt(n), util::fmt(sc.params.side), util::fmt(sc.params.radius),
-                   util::fmt(s.mean), util::fmt(s.stddev), util::fmt(l_over_r),
-                   util::fmt(s.mean / l_over_r)});
+    for (const auto& row : memory.rows()) {
+        const auto& p = row.point.sc.params;
+        const double l_over_r = p.side / p.radius;
+        ns.push_back(static_cast<double>(p.n));
+        ratios.push_back(row.summary.mean / l_over_r);
+        t.add_row({util::fmt(p.n), util::fmt(p.side), util::fmt(p.radius),
+                   util::fmt(row.summary.mean), util::fmt(row.summary.stddev),
+                   util::fmt(l_over_r), util::fmt(row.summary.mean / l_over_r)});
     }
     std::printf("%s", t.markdown().c_str());
 

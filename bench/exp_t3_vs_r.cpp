@@ -3,12 +3,15 @@
 // decreasing in R; measured times must decrease and stay under the envelope
 // 18 L/R + 30 S/v (the paper's own suburb constant is 590 — see DESIGN.md).
 //
-// Knobs: --n=32000 --seeds=3 --seed=1
+// The c1-sweep is a declarative engine::sweep_spec fanned over all cores;
+// S comes from the sweep rows (every replica reports the partition).
+// Knobs: --n=32000 --reps=3 --seed=1 --threads=0 --csv=FILE --json=FILE
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/scenario.h"
+#include "engine/sweep.h"
 #include "stats/summary.h"
 
 using namespace manhattan;
@@ -16,35 +19,40 @@ using namespace manhattan;
 int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
     const auto n = static_cast<std::size_t>(args.get_int("n", 32'000));
-    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+    const std::size_t reps = bench::replicas(args, 3);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
     bench::banner("T3a", "Theorem 3: flooding time vs transmission radius R");
 
+    engine::sweep_spec spec;
+    spec.base.source = core::source_placement::center_most;
+    spec.base.seed = seed0;
+    spec.base.max_steps = 500'000;
+    spec.repetitions = reps;
+    spec.n = {n};
+    spec.c1 = {1.5, 2.0, 2.5, 3.0, 4.0, 6.0};
+    spec.speed_factor = {1.0};
+
+    engine::memory_sink memory;
+    bench::sink_set sinks(args);
+    sinks.add(&memory);
+    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span());
+
     util::table t({"c1", "R", "v", "mean T", "sd", "L/R", "S/v", "18L/R + 30 S/v", "T ok"});
     std::vector<double> means;
     bool under_envelope = true;
-    for (const double c1 : {1.5, 2.0, 2.5, 3.0, 4.0, 6.0}) {
-        core::scenario sc;
-        sc.params = bench::standard_params(n, c1, 0.0);
-        sc.params.speed = bench::default_speed(sc.params.radius);
-        sc.source = core::source_placement::center_most;
-        sc.seed = seed0;
-        sc.max_steps = 500'000;
-        const auto times = core::flooding_times(sc, seeds);
-        const auto s = stats::summarize(times);
-        const auto out = core::run_scenario(sc);  // for S at these parameters
-        const double envelope =
-            core::paper::central_zone_flood_bound(sc.params.side, sc.params.radius) +
-            30.0 * out.suburb_diameter / sc.params.speed;
-        const bool ok = s.max <= envelope;
+    for (std::size_t i = 0; i < memory.rows().size(); ++i) {
+        const auto& row = memory.rows()[i];
+        const auto& p = row.point.sc.params;
+        const double envelope = core::paper::central_zone_flood_bound(p.side, p.radius) +
+                                30.0 * row.suburb_diameter / p.speed;
+        const bool ok = row.summary.max <= envelope;
         under_envelope = under_envelope && ok;
-        means.push_back(s.mean);
-        t.add_row({util::fmt(c1), util::fmt(sc.params.radius), util::fmt(sc.params.speed),
-                   util::fmt(s.mean), util::fmt(s.stddev),
-                   util::fmt(sc.params.side / sc.params.radius),
-                   util::fmt(out.suburb_diameter / sc.params.speed), util::fmt(envelope),
-                   util::fmt_bool(ok)});
+        means.push_back(row.summary.mean);
+        t.add_row({util::fmt(spec.c1[i]), util::fmt(p.radius), util::fmt(p.speed),
+                   util::fmt(row.summary.mean), util::fmt(row.summary.stddev),
+                   util::fmt(p.side / p.radius), util::fmt(row.suburb_diameter / p.speed),
+                   util::fmt(envelope), util::fmt_bool(ok)});
     }
     std::printf("%s", t.markdown().c_str());
 

@@ -5,12 +5,15 @@
 // the Central-Zone informing time must be flat in v while the total time's
 // suburb tail grows like 1/v (affine fit against 1/v must be strong).
 //
-// Knobs: --n=100000 --c1=1.2 --seeds=2 --seed=1
+// The v-sweep is a declarative engine::sweep_spec fanned over all cores; the
+// CZ informing step comes from the sweep rows' mean_cz_step aggregate.
+// Knobs: --n=100000 --c1=1.2 --reps=2 --seed=1 --threads=0 --csv= --json=
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/scenario.h"
+#include "engine/sweep.h"
 #include "stats/fit.h"
 #include "stats/summary.h"
 
@@ -20,37 +23,36 @@ int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
     const auto n = static_cast<std::size_t>(args.get_int("n", 100'000));
     const double c1 = args.get_double("c1", 1.2);
-    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 2));
+    const std::size_t reps = bench::replicas(args, 2);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
     bench::banner("T3b", "Theorem 3: flooding time vs agent speed v (suburb term)");
 
-    core::net_params base = bench::standard_params(n, c1, 0.0);
+    const core::net_params base = bench::standard_params(n, c1, 0.0);
     const double v_max = bench::default_speed(base.radius);
-    const std::vector<double> speeds = {v_max, 0.2, 0.1, 0.05, 0.02};
+
+    engine::sweep_spec spec;
+    spec.base.source = core::source_placement::center_most;
+    spec.base.seed = seed0;
+    spec.base.max_steps = 500'000;
+    spec.repetitions = reps;
+    spec.n = {n};
+    spec.c1 = {c1};
+    spec.speed = {v_max, 0.2, 0.1, 0.05, 0.02};
+
+    engine::memory_sink memory;
+    bench::sink_set sinks(args);
+    sinks.add(&memory);
+    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span());
 
     util::table t({"v", "mean T", "cz T", "suburb tail (T - czT)", "1/v"});
     std::vector<double> inv_v;
     std::vector<double> tails;
     std::vector<double> cz_times;
-    for (const double v : speeds) {
-        double mean_t = 0.0;
-        double mean_cz = 0.0;
-        for (std::size_t rep = 0; rep < seeds; ++rep) {
-            core::scenario sc;
-            sc.params = base;
-            sc.params.speed = v;
-            sc.source = core::source_placement::center_most;
-            sc.seed = seed0 + rep;
-            sc.max_steps = 500'000;
-            const auto out = core::run_scenario(sc);
-            mean_t += static_cast<double>(out.flood.flooding_time);
-            mean_cz += out.flood.central_zone_informed_step
-                           ? static_cast<double>(*out.flood.central_zone_informed_step)
-                           : 0.0;
-        }
-        mean_t /= static_cast<double>(seeds);
-        mean_cz /= static_cast<double>(seeds);
+    for (const auto& row : memory.rows()) {
+        const double v = row.point.sc.params.speed;
+        const double mean_t = row.summary.mean;
+        const double mean_cz = row.mean_cz_step.value_or(0.0);
         const double tail = mean_t - mean_cz;
         inv_v.push_back(1.0 / v);
         tails.push_back(tail);

@@ -3,16 +3,19 @@
 // speed deliver a city-wide emergency broadcast within a deadline, given that
 // vehicles follow Manhattan routes and thin out towards the suburbs.
 //
-// The example sweeps radius and speed, prints the achieved broadcast times,
-// and marks the cheapest configuration meeting the deadline.
+// The radius x speed grid is one declarative engine::sweep_spec: the engine
+// fans every (configuration, day) replica across the machine's cores and
+// aggregates per-configuration statistics, so the planner runs ~cores times
+// faster than a serial sweep with bit-identical output.
 //
-//     ./build/examples/urban_broadcast --n=20000 --deadline=60 --seeds=3
+//     ./build/examples/urban_broadcast --n=20000 --deadline=60 --reps=3 --threads=0
 #include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "core/scenario.h"
-#include "stats/summary.h"
+#include "engine/sink.h"
+#include "engine/sweep.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -22,37 +25,42 @@ int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
     const auto n = static_cast<std::size_t>(args.get_int("n", 20'000));
     const double deadline = args.get_double("deadline", 60.0);
-    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+    const auto reps =
+        static_cast<std::size_t>(args.get_int("reps", args.get_int("seeds", 3)));
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
     const double side = std::sqrt(static_cast<double>(n));
     std::printf("Urban broadcast planner — %zu vehicles on a %.0f x %.0f grid city\n", n,
                 side, side);
     std::printf("deadline: %.0f time steps; broadcast source: city center\n\n", deadline);
 
-    util::table t({"R (power)", "v (speed)", "mean T",
-                   "max over " + std::to_string(seeds) + " days", "meets deadline"});
+    engine::sweep_spec spec;
+    spec.base.source = core::source_placement::center_most;
+    spec.base.seed = seed0;
+    spec.base.max_steps = 500'000;
+    spec.repetitions = reps;
+    spec.n = {n};
+    spec.c1 = {2.0, 3.0, 4.0, 6.0};
+    spec.speed_factor = {1.0, 0.5, 0.25};
 
+    engine::memory_sink memory;
+    engine::result_sink* sinks[] = {&memory};
+    const auto sweep = engine::run_sweep(spec, {.threads = threads}, sinks);
+
+    util::table t({"R (power)", "v (speed)", "mean T",
+                   "max over " + std::to_string(reps) + " days", "meets deadline"});
     std::string best;
     double best_radius = 1e18;
-    for (const double c1 : {2.0, 3.0, 4.0, 6.0}) {
-        const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
-        for (const double speed_factor : {1.0, 0.5, 0.25}) {
-            const double speed = speed_factor * core::paper::speed_bound(radius);
-            core::scenario sc;
-            sc.params = {n, side, radius, speed};
-            sc.source = core::source_placement::center_most;
-            sc.seed = seed0;
-            sc.max_steps = 500'000;
-            const auto s = stats::summarize(core::flooding_times(sc, seeds));
-            const bool ok = s.max <= deadline;
-            if (ok && radius < best_radius) {
-                best_radius = radius;
-                best = "R = " + util::fmt(radius) + ", v = " + util::fmt(speed);
-            }
-            t.add_row({util::fmt(radius), util::fmt(speed), util::fmt(s.mean),
-                       util::fmt(s.max), util::fmt_bool(ok)});
+    for (const auto& row : memory.rows()) {
+        const auto& p = row.point.sc.params;
+        const bool ok = row.summary.max <= deadline;
+        if (ok && p.radius < best_radius) {
+            best_radius = p.radius;
+            best = "R = " + util::fmt(p.radius) + ", v = " + util::fmt(p.speed);
         }
+        t.add_row({util::fmt(p.radius), util::fmt(p.speed), util::fmt(row.summary.mean),
+                   util::fmt(row.summary.max), util::fmt_bool(ok)});
     }
     std::printf("%s\n", t.markdown().c_str());
     if (best.empty()) {
@@ -62,5 +70,7 @@ int main(int argc, char** argv) {
         std::printf("(Theorem 3: time scales as L/R + S/v — raising R helps twice, via both "
                     "terms.)\n");
     }
+    std::printf("%zu configurations x %zu days in %.2f s wall\n", memory.rows().size(), reps,
+                sweep.wall_seconds);
     return 0;
 }

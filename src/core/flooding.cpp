@@ -13,12 +13,17 @@ flooding_sim::flooding_sim(mobility::walker agents, double radius, flood_config 
       radius_(radius),
       cfg_(cfg),
       cells_(cells),
+      gossip_gen_(cfg.gossip_seed),
       grid_(walker_.model().side(), std::min(radius, walker_.model().side())) {
     if (!(radius > 0.0)) {
         throw std::invalid_argument("flooding_sim: radius must be positive");
     }
     if (cfg_.source >= walker_.size()) {
         throw std::invalid_argument("flooding_sim: source agent out of range");
+    }
+    if (cfg_.mode == propagation::gossip &&
+        !(cfg_.gossip_p > 0.0 && cfg_.gossip_p <= 1.0)) {
+        throw std::invalid_argument("flooding_sim: gossip_p must be in (0, 1]");
     }
     informed_.assign(walker_.size(), 0);
     informed_at_.assign(walker_.size(), never_informed);
@@ -84,6 +89,27 @@ void flooding_sim::propagate_per_component(std::vector<std::uint32_t>& newly) {
     }
 }
 
+void flooding_sim::propagate_gossip(std::vector<std::uint32_t>& newly) {
+    // Like one_hop, but each informed agent only transmits with probability
+    // gossip_p. The coin is drawn for *every* informed agent every step, in
+    // informing order, so the coin stream (and thus the run) depends only on
+    // (gossip_seed, informing history) — not on neighbourhood structure.
+    const auto positions = walker_.positions();
+    const std::size_t informed_before = informed_list_.size();
+    for (std::size_t k = 0; k < informed_before; ++k) {
+        const std::uint32_t b = informed_list_[k];
+        if (!gossip_gen_.bernoulli(cfg_.gossip_p)) {
+            continue;
+        }
+        grid_.for_each_in_radius(positions[b], radius_, [&](std::uint32_t a) {
+            if (informed_[a] == 0) {
+                informed_[a] = 2;
+                newly.push_back(a);
+            }
+        });
+    }
+}
+
 void flooding_sim::commit(const std::vector<std::uint32_t>& newly) {
     for (const std::uint32_t a : newly) {
         informed_[a] = 1;
@@ -116,10 +142,16 @@ std::size_t flooding_sim::step() {
     grid_.rebuild(walker_.positions());
 
     std::vector<std::uint32_t> newly;
-    if (cfg_.mode == propagation::one_hop) {
-        propagate_one_hop(newly);
-    } else {
-        propagate_per_component(newly);
+    switch (cfg_.mode) {
+        case propagation::one_hop:
+            propagate_one_hop(newly);
+            break;
+        case propagation::per_component:
+            propagate_per_component(newly);
+            break;
+        case propagation::gossip:
+            propagate_gossip(newly);
+            break;
     }
     commit(newly);
     update_zone_metrics();

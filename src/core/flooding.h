@@ -20,6 +20,7 @@ namespace manhattan::core {
 enum class propagation : std::uint8_t {
     one_hop,        ///< the paper's protocol: one transmission hop per step
     per_component,  ///< ablation: a whole connected component floods per step
+    gossip,         ///< each informed agent forwards with probability gossip_p
 };
 
 /// Flooding run configuration.
@@ -28,6 +29,8 @@ struct flood_config {
     std::size_t source = 0;              ///< initially informed agent
     std::uint64_t max_steps = 1'000'000; ///< give-up horizon for run()
     bool record_timeline = true;         ///< keep per-step informed counts
+    double gossip_p = 1.0;               ///< forward probability (gossip mode)
+    std::uint64_t gossip_seed = 1;       ///< seed of the gossip coin stream
 };
 
 /// Sentinel for "never informed" in flood_result::informed_at.
@@ -57,7 +60,8 @@ struct flood_result {
 /// enables the Central-Zone / Suburb metrics; it must outlive the simulation.
 class flooding_sim {
  public:
-    /// Throws if source is out of range or radius is not positive.
+    /// Throws if source is out of range, radius is not positive, or (in
+    /// gossip mode) gossip_p is outside (0, 1].
     flooding_sim(mobility::walker agents, double radius, flood_config cfg = {},
                  const cell_partition* cells = nullptr);
 
@@ -79,6 +83,7 @@ class flooding_sim {
  private:
     void propagate_one_hop(std::vector<std::uint32_t>& newly);
     void propagate_per_component(std::vector<std::uint32_t>& newly);
+    void propagate_gossip(std::vector<std::uint32_t>& newly);
     void commit(const std::vector<std::uint32_t>& newly);
     void update_zone_metrics();
 
@@ -86,6 +91,7 @@ class flooding_sim {
     double radius_;
     flood_config cfg_;
     const cell_partition* cells_;
+    rng::rng gossip_gen_;
     geom::uniform_grid grid_;
     std::vector<std::uint8_t> informed_;
     std::vector<std::uint32_t> informed_at_;

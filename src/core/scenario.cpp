@@ -5,7 +5,9 @@
 #include <memory>
 #include <stdexcept>
 
+#include "engine/runner.h"
 #include "geom/vec2.h"
+#include "rng/splitmix64.h"
 
 namespace manhattan::core {
 
@@ -69,6 +71,10 @@ scenario_outcome run_scenario(const scenario& sc) {
     cfg.source = pick_source(agents, sc.source);
     cfg.max_steps = sc.max_steps;
     cfg.record_timeline = sc.record_timeline;
+    cfg.gossip_p = sc.gossip_p;
+    // A distinct coin stream per scenario seed, decoupled from the walker's
+    // stream so the one_hop / per_component paths are unaffected.
+    cfg.gossip_seed = rng::splitmix64(sc.seed ^ 0x676f737369702121ULL)();
 
     scenario_outcome out;
     out.source_agent = cfg.source;
@@ -88,14 +94,7 @@ scenario_outcome run_scenario(const scenario& sc) {
 }
 
 std::vector<double> flooding_times(scenario sc, std::size_t repetitions) {
-    std::vector<double> times;
-    times.reserve(repetitions);
-    for (std::size_t rep = 0; rep < repetitions; ++rep) {
-        sc.seed = sc.seed + (rep == 0 ? 0 : 1);
-        const scenario_outcome out = run_scenario(sc);
-        times.push_back(static_cast<double>(out.flood.flooding_time));
-    }
-    return times;
+    return engine::flooding_times(sc, repetitions);
 }
 
 }  // namespace manhattan::core

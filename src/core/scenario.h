@@ -27,6 +27,7 @@ struct scenario {
     mobility::model_kind model = mobility::model_kind::mrwp;
     mobility::model_options model_opts; ///< baselines' tunables
     propagation mode = propagation::one_hop;
+    double gossip_p = 1.0;              ///< forward probability (gossip mode)
     source_placement source = source_placement::random_agent;
     std::uint64_t seed = 1;
     bool stationary_start = true;       ///< false: uniform positions + fresh trips
@@ -48,10 +49,17 @@ struct scenario_outcome {
 };
 
 /// Run one scenario. Throws on invalid parameters.
+///
+/// Re-entrant: every run constructs its own rng (from sc.seed), walker,
+/// spatial index and partition, and mobility models are stateless w.r.t.
+/// agents (see mobility/model.h) — concurrent calls from different threads
+/// never share mutable state. engine::run_replicas relies on this.
 [[nodiscard]] scenario_outcome run_scenario(const scenario& sc);
 
-/// Run \p repetitions independent replicas (seed, seed+1, ...) and return
-/// their flooding times (steps). Incomplete runs contribute max_steps.
+/// Run \p repetitions independent replicas and return their flooding times
+/// (steps). Incomplete runs contribute max_steps. Delegates to the parallel
+/// experiment engine (engine/runner.h): replica seeds are splitmix64-derived
+/// from sc.seed and results are bit-identical for any thread count.
 [[nodiscard]] std::vector<double> flooding_times(scenario sc, std::size_t repetitions);
 
 }  // namespace manhattan::core

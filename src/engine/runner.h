@@ -1,0 +1,55 @@
+/// \file runner.h
+/// The replica fan-out layer: run N independent copies of one scenario
+/// across a thread pool with deterministic per-replica seeding.
+///
+/// Seeding scheme: replica r receives the r-th output of a splitmix64
+/// stream seeded with the scenario's base seed (the xoshiro-recommended
+/// expansion, see rng/splitmix64.h). The seed vector is a pure function of
+/// (base seed, replica count), and every outcome is written into its own
+/// pre-sized slot — so results are bit-identical for any thread count,
+/// including 1, and independent of OS scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace manhattan::engine {
+
+class thread_pool;
+
+/// Execution knobs shared by every engine entry point (bench binaries map
+/// `--threads=` / `--reps=` straight onto these).
+struct run_options {
+    std::size_t threads = 0;  ///< worker count; 0 = hardware concurrency
+    std::size_t chunk = 1;    ///< replicas per work unit in run_replicas /
+                              ///< flooding_times (1 = best balance; the sweep
+                              ///< driver always schedules per-replica)
+};
+
+/// The per-replica seeds run_replicas assigns: the first \p count outputs
+/// of splitmix64(base_seed). Exposed so tests and sinks can label replicas.
+[[nodiscard]] std::vector<std::uint64_t> replica_seeds(std::uint64_t base_seed,
+                                                       std::size_t count);
+
+/// Run \p repetitions independent replicas of \p base (identical except for
+/// the derived seed) and return their outcomes in replica order. Thread-safe
+/// and deterministic (see file comment). Throws what run_scenario throws.
+[[nodiscard]] std::vector<core::scenario_outcome> run_replicas(
+    const core::scenario& base, std::size_t repetitions, const run_options& opts = {});
+
+/// Same, on a caller-owned pool (the sweep driver reuses one pool across
+/// every grid point instead of respawning workers per row).
+[[nodiscard]] std::vector<core::scenario_outcome> run_replicas(
+    thread_pool& pool, const core::scenario& base, std::size_t repetitions,
+    std::size_t chunk = 1);
+
+/// Flooding times (steps) of \p repetitions replicas — the parallel engine
+/// behind core::flooding_times. Incomplete runs contribute max_steps.
+[[nodiscard]] std::vector<double> flooding_times(const core::scenario& base,
+                                                 std::size_t repetitions,
+                                                 const run_options& opts = {});
+
+}  // namespace manhattan::engine

@@ -1,0 +1,146 @@
+#include "engine/sink.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "mobility/factory.h"
+
+namespace manhattan::engine {
+
+namespace {
+
+const char* mode_name(core::propagation mode) {
+    switch (mode) {
+        case core::propagation::one_hop:
+            return "one_hop";
+        case core::propagation::per_component:
+            return "per_component";
+        case core::propagation::gossip:
+            return "gossip";
+    }
+    return "?";
+}
+
+/// Shortest round-trip double formatting (JSON/CSV want full precision).
+std::string num(double v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+std::string csv_quote(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+        return s;
+    }
+    std::string quoted = "\"";
+    for (const char c : s) {
+        if (c == '"') {
+            quoted += '"';
+        }
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string json_quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+void csv_sink::on_row(const sweep_row& row) {
+    if (!header_written_) {
+        out_ << "index,label,n,side,radius,speed,model,mode,gossip_p,reps,"
+                "mean,stddev,min,median,max,ci_lo,ci_hi,completed_fraction,"
+                "mean_cz_step,suburb_diameter,wall_seconds\n";
+        header_written_ = true;
+    }
+    const auto& sc = row.point.sc;
+    out_ << row.point.index << ',' << csv_quote(row.point.label) << ',' << sc.params.n << ','
+         << num(sc.params.side) << ',' << num(sc.params.radius) << ',' << num(sc.params.speed)
+         << ',' << mobility::model_kind_name(sc.model) << ',' << mode_name(sc.mode) << ','
+         << num(sc.gossip_p) << ',' << row.times.size() << ',' << num(row.summary.mean) << ','
+         << num(row.summary.stddev) << ',' << num(row.summary.min) << ','
+         << num(row.summary.median) << ',' << num(row.summary.max) << ','
+         << num(row.mean_ci.lo) << ',' << num(row.mean_ci.hi) << ','
+         << num(row.completed_fraction) << ','
+         << (row.mean_cz_step ? num(*row.mean_cz_step) : std::string{}) << ','
+         << num(row.suburb_diameter) << ',' << num(row.wall_seconds) << '\n';
+    out_.flush();  // a killed multi-hour sweep keeps its completed rows
+}
+
+void json_sink::on_row(const sweep_row& row) {
+    out_ << (open_ ? ",\n" : "{\"rows\": [\n");
+    open_ = true;
+    const auto& sc = row.point.sc;
+    out_ << "  {\"index\": " << row.point.index << ", \"label\": " << json_quote(row.point.label)
+         << ",\n   \"params\": {\"n\": " << sc.params.n << ", \"side\": " << num(sc.params.side)
+         << ", \"radius\": " << num(sc.params.radius) << ", \"speed\": " << num(sc.params.speed)
+         << ", \"model\": " << json_quote(mobility::model_kind_name(sc.model))
+         << ", \"mode\": " << json_quote(mode_name(sc.mode))
+         << ", \"gossip_p\": " << num(sc.gossip_p) << ", \"seed\": " << sc.seed << "},\n"
+         << "   \"summary\": {\"reps\": " << row.times.size()
+         << ", \"mean\": " << num(row.summary.mean) << ", \"stddev\": " << num(row.summary.stddev)
+         << ", \"min\": " << num(row.summary.min) << ", \"median\": " << num(row.summary.median)
+         << ", \"max\": " << num(row.summary.max) << ", \"ci95\": [" << num(row.mean_ci.lo)
+         << ", " << num(row.mean_ci.hi) << "], \"completed_fraction\": "
+         << num(row.completed_fraction) << ", \"suburb_diameter\": " << num(row.suburb_diameter)
+         << ", \"mean_cz_step\": "
+         << (row.mean_cz_step ? num(*row.mean_cz_step) : std::string{"null"}) << "}";
+    if (per_replica_times_) {
+        out_ << ",\n   \"times\": [";
+        for (std::size_t i = 0; i < row.times.size(); ++i) {
+            out_ << (i == 0 ? "" : ", ") << num(row.times[i]);
+        }
+        out_ << "]";
+    }
+    out_ << "}";
+    out_.flush();  // a killed multi-hour sweep keeps its completed rows
+}
+
+void json_sink::finish() {
+    if (finished_) {
+        return;
+    }
+    finished_ = true;
+    if (!open_) {
+        out_ << "{\"rows\": [";
+    }
+    out_ << "\n]}\n";
+    out_.flush();
+}
+
+table_sink::table_sink(std::ostream& out)
+    : out_(out),
+      table_({"point", "reps", "mean T", "sd", "95% CI", "done", "cz T", "S"}) {}
+
+void table_sink::on_row(const sweep_row& row) {
+    table_.add_row({row.point.label, util::fmt(row.times.size()), util::fmt(row.summary.mean),
+                    util::fmt(row.summary.stddev),
+                    "[" + util::fmt(row.mean_ci.lo) + ", " + util::fmt(row.mean_ci.hi) + "]",
+                    util::fmt(row.completed_fraction),
+                    row.mean_cz_step ? util::fmt(*row.mean_cz_step) : std::string{"-"},
+                    util::fmt(row.suburb_diameter)});
+}
+
+void table_sink::finish() {
+    if (finished_) {
+        return;
+    }
+    finished_ = true;
+    out_ << table_.markdown();
+    out_.flush();
+}
+
+}  // namespace manhattan::engine

@@ -1,0 +1,86 @@
+/// \file sink.h
+/// Structured result sinks: where sweep rows go once aggregated. The driver
+/// pushes rows in expansion order; a sink renders them (CSV for spreadsheet
+/// pipelines, JSON for the BENCH_*.json trajectory format, a markdown table
+/// for terminal reports) or just keeps them (memory_sink, the bench
+/// binaries' verdict logic). Sinks are driver-thread-only: on_row/finish are
+/// never called concurrently.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/sweep.h"
+#include "util/table.h"
+
+namespace manhattan::engine {
+
+/// Receiver of aggregated sweep rows.
+class result_sink {
+ public:
+    virtual ~result_sink() = default;
+
+    /// One grid point's aggregate, delivered in expansion order as soon as
+    /// the point's replicas complete (streaming: rows from several
+    /// run_sweep calls may arrive before finish()).
+    virtual void on_row(const sweep_row& row) = 0;
+
+    /// Flush footers / close arrays once no more rows are coming. The
+    /// composer of the sweep(s) calls this — run_sweep does not, so one
+    /// sink can span several sweeps. Idempotent in the provided sinks.
+    virtual void finish() {}
+};
+
+/// Keeps every row (the programmatic consumer; benches derive verdicts
+/// from it after run_sweep returns).
+class memory_sink final : public result_sink {
+ public:
+    void on_row(const sweep_row& row) override { rows_.push_back(row); }
+    [[nodiscard]] const std::vector<sweep_row>& rows() const noexcept { return rows_; }
+
+ private:
+    std::vector<sweep_row> rows_;
+};
+
+/// RFC-4180 CSV, one line per grid point, header on the first row.
+class csv_sink final : public result_sink {
+ public:
+    explicit csv_sink(std::ostream& out) : out_(out) {}
+    void on_row(const sweep_row& row) override;
+
+ private:
+    std::ostream& out_;
+    bool header_written_ = false;
+};
+
+/// Machine-readable JSON: {"rows": [...]} with per-replica flooding times
+/// (the trajectory payload BENCH_*.json consumers read).
+class json_sink final : public result_sink {
+ public:
+    explicit json_sink(std::ostream& out, bool per_replica_times = true)
+        : out_(out), per_replica_times_(per_replica_times) {}
+    void on_row(const sweep_row& row) override;
+    void finish() override;
+
+ private:
+    std::ostream& out_;
+    bool per_replica_times_;
+    bool open_ = false;
+    bool finished_ = false;
+};
+
+/// Markdown table for terminal reports (printed by finish()).
+class table_sink final : public result_sink {
+ public:
+    explicit table_sink(std::ostream& out);
+    void on_row(const sweep_row& row) override;
+    void finish() override;
+
+ private:
+    std::ostream& out_;
+    util::table table_;
+    bool finished_ = false;
+};
+
+}  // namespace manhattan::engine

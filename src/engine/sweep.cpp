@@ -1,0 +1,204 @@
+#include "engine/sweep.h"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "engine/sink.h"
+#include "engine/thread_pool.h"
+#include "mobility/factory.h"
+#include "rng/rng.h"
+#include "util/table.h"
+
+namespace manhattan::engine {
+
+namespace {
+
+/// One resolved value of one axis, applied to a scenario under construction.
+template <typename T, typename Apply>
+void sweep_axis(std::vector<core::scenario>& acc, const std::vector<T>& axis, Apply apply) {
+    if (axis.empty()) {
+        return;
+    }
+    std::vector<core::scenario> next;
+    next.reserve(acc.size() * axis.size());
+    for (const auto& sc : acc) {
+        for (const T& value : axis) {
+            core::scenario expanded = sc;
+            apply(expanded, value);
+            next.push_back(expanded);
+        }
+    }
+    acc = std::move(next);
+}
+
+std::string point_label(const core::scenario& sc) {
+    std::string label = "n=" + util::fmt(sc.params.n) + " R=" + util::fmt(sc.params.radius) +
+                        " v=" + util::fmt(sc.params.speed);
+    if (sc.model != mobility::model_kind::mrwp) {
+        label += " model=" + mobility::model_kind_name(sc.model);
+    }
+    if (sc.mode == core::propagation::per_component) {
+        label += " mode=per_component";
+    } else if (sc.mode == core::propagation::gossip) {
+        label += " gossip_p=" + util::fmt(sc.gossip_p);
+    }
+    return label;
+}
+
+}  // namespace
+
+std::vector<sweep_point> sweep_spec::expand() const {
+    if (repetitions == 0) {
+        throw std::invalid_argument("sweep_spec: repetitions must be positive");
+    }
+    if (!c1.empty() && !radius.empty()) {
+        throw std::invalid_argument("sweep_spec: c1 and radius axes are mutually exclusive");
+    }
+    if (!speed.empty() && !speed_factor.empty()) {
+        throw std::invalid_argument(
+            "sweep_spec: speed and speed_factor axes are mutually exclusive");
+    }
+
+    std::vector<core::scenario> grid{base};
+    const bool std_case = standard_case;
+    sweep_axis(grid, n, [std_case](core::scenario& sc, std::size_t value) {
+        sc.params.n = value;
+        if (std_case) {
+            sc.params.side = std::sqrt(static_cast<double>(value));
+        }
+    });
+    sweep_axis(grid, c1, [](core::scenario& sc, double value) {
+        sc.params.radius = value * std::sqrt(std::log(static_cast<double>(sc.params.n)));
+    });
+    sweep_axis(grid, radius,
+               [](core::scenario& sc, double value) { sc.params.radius = value; });
+    sweep_axis(grid, speed, [](core::scenario& sc, double value) { sc.params.speed = value; });
+    sweep_axis(grid, speed_factor, [](core::scenario& sc, double value) {
+        sc.params.speed = value * core::paper::speed_bound(sc.params.radius);
+    });
+    sweep_axis(grid, model,
+               [](core::scenario& sc, mobility::model_kind value) { sc.model = value; });
+    sweep_axis(grid, mode,
+               [](core::scenario& sc, core::propagation value) { sc.mode = value; });
+    sweep_axis(grid, gossip_p, [](core::scenario& sc, double value) {
+        sc.gossip_p = value;
+        sc.mode = core::propagation::gossip;
+    });
+
+    std::vector<sweep_point> points;
+    points.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        grid[i].params.validate();
+        points.push_back({grid[i], i, point_label(grid[i])});
+    }
+    return points;
+}
+
+namespace {
+
+/// The scalars a sweep row needs from one replica. Workers reduce the full
+/// scenario_outcome (which carries n-sized vectors) to this immediately, so
+/// a big sweep's memory stays O(points x reps) scalars, not O(... x n).
+struct replica_stat {
+    double time = 0.0;
+    bool completed = false;
+    std::optional<std::uint64_t> cz_step;
+    double suburb_diameter = 0.0;
+    double wall_seconds = 0.0;
+};
+
+}  // namespace
+
+sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
+                       std::span<result_sink* const> sinks) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto points = spec.expand();
+    const std::size_t reps = spec.repetitions;
+
+    // Queue every (point, replica) pair upfront on one pool: replicas of a
+    // slow grid point overlap with replicas of fast ones, so workers never
+    // idle between points. Each stat lands in its (point, rep) slot —
+    // output is independent of scheduling.
+    std::vector<std::vector<replica_stat>> replica_stats(points.size());
+    std::vector<std::vector<std::uint64_t>> seeds(points.size());
+    std::vector<std::vector<std::future<void>>> pending(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        replica_stats[p].resize(reps);
+        seeds[p] = replica_seeds(points[p].sc.seed, reps);
+        pending[p].reserve(reps);
+    }
+
+    thread_pool pool(opts.threads);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        for (std::size_t r = 0; r < reps; ++r) {
+            pending[p].push_back(pool.submit([&replica_stats, &seeds, &points, p, r] {
+                core::scenario sc = points[p].sc;
+                sc.seed = seeds[p][r];
+                const auto out = core::run_scenario(sc);
+                replica_stats[p][r] = {static_cast<double>(out.flood.flooding_time),
+                               out.flood.completed, out.flood.central_zone_informed_step,
+                               out.suburb_diameter, out.wall_seconds};
+            }));
+        }
+    }
+
+    // Deliver each row to the sinks as soon as its replicas complete, in
+    // expansion order — a killed multi-hour sweep keeps every finished row
+    // in its CSV/JSON files. Point p+1 keeps computing while p streams.
+    sweep_result result;
+    result.rows.reserve(points.size());
+    std::exception_ptr first_error;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        for (auto& f : pending[p]) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        }
+        if (first_error) {
+            continue;  // keep draining remaining futures before rethrowing
+        }
+
+        sweep_row row;
+        row.point = points[p];
+        row.times.reserve(reps);
+        std::size_t completed = 0;
+        double cz_sum = 0.0;
+        std::size_t cz_count = 0;
+        for (const auto& stat : replica_stats[p]) {
+            row.times.push_back(stat.time);
+            completed += stat.completed ? 1 : 0;
+            if (stat.cz_step) {
+                cz_sum += static_cast<double>(*stat.cz_step);
+                ++cz_count;
+            }
+            row.wall_seconds += stat.wall_seconds;
+        }
+        row.summary = stats::summarize(row.times);
+        // Deterministic bootstrap stream per point (driver thread only).
+        rng::rng boot_gen(points[p].sc.seed ^ 0x626f6f7473747261ULL);
+        row.mean_ci = stats::bootstrap_mean_ci(row.times, 0.95, 1000, boot_gen);
+        row.completed_fraction =
+            static_cast<double>(completed) / static_cast<double>(reps);
+        if (cz_count > 0) {
+            row.mean_cz_step = cz_sum / static_cast<double>(cz_count);
+        }
+        row.suburb_diameter = replica_stats[p].front().suburb_diameter;
+        for (result_sink* sink : sinks) {
+            sink->on_row(row);
+        }
+        result.rows.push_back(std::move(row));
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+}  // namespace manhattan::engine

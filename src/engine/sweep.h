@@ -1,0 +1,90 @@
+/// \file sweep.h
+/// Declarative parameter-grid experiments: "vary n / R / v / model over a
+/// grid, M replicas each" as data instead of hand-rolled nested loops. The
+/// driver expands the grid, fans every (point, replica) pair over one
+/// thread pool, aggregates each row through stats::summary / bootstrap, and
+/// streams each row into the result sinks as it completes (see sink.h).
+///
+/// Reproducibility contract: each grid point uses the spec's base seed, so
+/// every row is bit-identical to a standalone engine::run_replicas (and
+/// core::flooding_times) call with the same scenario — at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "engine/runner.h"
+#include "stats/bootstrap.h"
+#include "stats/summary.h"
+
+namespace manhattan::engine {
+
+class result_sink;
+
+/// One fully-resolved grid point.
+struct sweep_point {
+    core::scenario sc;
+    std::size_t index = 0;  ///< row index in expansion order
+    std::string label;      ///< "n=16000 R=9.32 v=0.96 model=mrwp"
+};
+
+/// A parameter grid over a prototype scenario. Every non-empty axis is
+/// swept (cartesian product, last axis fastest); empty axes keep the base
+/// scenario's value. Axis semantics:
+///   - n: sets params.n and, when standard_case (the default), L = sqrt(n)
+///   - c1: sets R = c1 * sqrt(ln n)   (mutually exclusive with radius)
+///   - radius: sets R directly
+///   - speed: sets v directly         (mutually exclusive with speed_factor)
+///   - speed_factor: sets v = factor * paper::speed_bound(R)
+///   - model / mode / gossip_p: scenario-diversity axes
+struct sweep_spec {
+    core::scenario base;          ///< prototype: seed, source, max_steps, ...
+    std::size_t repetitions = 3;  ///< replicas per grid point
+    bool standard_case = true;    ///< n axis also sets L = sqrt(n)
+
+    std::vector<std::size_t> n;
+    std::vector<double> c1;
+    std::vector<double> radius;
+    std::vector<double> speed;
+    std::vector<double> speed_factor;
+    std::vector<mobility::model_kind> model;
+    std::vector<core::propagation> mode;
+    std::vector<double> gossip_p;
+
+    /// Expand into the fully-resolved point list. Throws std::invalid_argument
+    /// on conflicting axes (c1 & radius, speed & speed_factor) or empty grids.
+    [[nodiscard]] std::vector<sweep_point> expand() const;
+};
+
+/// Aggregated result of one grid point (F.21 struct return).
+struct sweep_row {
+    sweep_point point;
+    std::vector<double> times;              ///< per-replica flooding times, seed order
+    stats::summary summary;                 ///< of `times`
+    stats::interval mean_ci;                ///< 95% percentile-bootstrap CI of the mean
+    double completed_fraction = 0.0;        ///< replicas that informed everyone
+    std::optional<double> mean_cz_step;     ///< mean Central-Zone informing step
+    double suburb_diameter = 0.0;           ///< S at these parameters (0 = no partition)
+    double wall_seconds = 0.0;              ///< summed replica wall time (CPU work)
+};
+
+/// Everything a sweep produced.
+struct sweep_result {
+    std::vector<sweep_row> rows;  ///< expansion order
+    double wall_seconds = 0.0;    ///< driver wall-clock (parallel) time
+};
+
+/// Run the sweep. Rows are delivered to every sink in expansion order, each
+/// as soon as its point's replicas complete (later points keep computing
+/// while earlier rows stream out — an interrupted sweep keeps its finished
+/// rows). run_sweep never calls sink->finish(): the composer does, so one
+/// sink may span several sweeps (bench::sink_set automates this). Sinks may
+/// be empty. Throws what run_scenario throws, after draining the pool.
+sweep_result run_sweep(const sweep_spec& spec, const run_options& opts = {},
+                       std::span<result_sink* const> sinks = {});
+
+}  // namespace manhattan::engine

@@ -1,0 +1,106 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace manhattan::engine {
+
+std::size_t default_thread_count() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+thread_pool::thread_pool(std::size_t threads) {
+    const std::size_t count = threads == 0 ? default_thread_count() : threads;
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping_ with a drained queue
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();  // packaged_task stores any exception in its future
+    }
+}
+
+std::future<void> thread_pool::submit(std::function<void()> task) {
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> result = packaged.get_future();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(packaged));
+    }
+    wake_.notify_one();
+    return result;
+}
+
+void thread_pool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                               std::size_t chunk) {
+    if (count == 0) {
+        return;
+    }
+    if (chunk == 0) {
+        chunk = std::max<std::size_t>(1, count / (4 * size()));
+    }
+
+    // Dynamic chunking off a shared counter: workers grab the next chunk
+    // when free, so uneven replica costs balance out. Result placement is
+    // by index, so the schedule never affects outputs.
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto run_chunks = [next, count, chunk, &body] {
+        for (;;) {
+            const std::size_t begin = next->fetch_add(chunk);
+            if (begin >= count) {
+                return;
+            }
+            const std::size_t end = std::min(count, begin + chunk);
+            for (std::size_t i = begin; i < end; ++i) {
+                body(i);
+            }
+        }
+    };
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(size());
+    for (std::size_t w = 0; w < size(); ++w) {
+        futures.push_back(submit(run_chunks));
+    }
+
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error) {
+                first_error = std::current_exception();
+            }
+        }
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+}  // namespace manhattan::engine

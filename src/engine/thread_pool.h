@@ -1,0 +1,63 @@
+/// \file thread_pool.h
+/// A small fixed-size worker pool for fanning independent replicas across
+/// cores. Tasks are arbitrary callables; `parallel_for` adds chunked index
+/// dispatch with exception propagation. Determinism note: the pool never
+/// influences *what* a task computes, only *when* — engine::run_replicas
+/// writes every result into a pre-sized slot so outputs are bit-identical
+/// for any thread count (see docs/ENGINE.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace manhattan::engine {
+
+/// Number of workers `thread_pool{0}` resolves to (hardware concurrency,
+/// never less than 1).
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Fixed-size thread pool. Construction spawns the workers; destruction
+/// drains the queue and joins. Thread-safe: any thread may submit.
+class thread_pool {
+ public:
+    /// Spawn \p threads workers (0 = default_thread_count()).
+    explicit thread_pool(std::size_t threads = 0);
+
+    /// Blocks until all queued tasks finished, then joins the workers.
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue one task. The future carries the task's exception, if any.
+    std::future<void> submit(std::function<void()> task);
+
+    /// Run body(i) for every i in [0, count) across the pool, chunked
+    /// \p chunk indices at a time (0 = pick a chunk that yields ~4 chunks
+    /// per worker). Blocks until done; without exceptions every index runs
+    /// exactly once. If a body throws, the throwing worker abandons its
+    /// remaining indices and the first exception is rethrown here once all
+    /// workers returned.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                      std::size_t chunk = 0);
+
+ private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+}  // namespace manhattan::engine

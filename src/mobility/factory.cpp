@@ -50,4 +50,20 @@ model_kind parse_model_kind(const std::string& name) {
     throw std::invalid_argument("parse_model_kind: unknown model '" + name + "'");
 }
 
+std::string model_kind_name(model_kind kind) {
+    switch (kind) {
+        case model_kind::mrwp:
+            return "mrwp";
+        case model_kind::rwp:
+            return "rwp";
+        case model_kind::random_walk:
+            return "random_walk";
+        case model_kind::random_direction:
+            return "random_direction";
+        case model_kind::static_agents:
+            return "static";
+    }
+    throw std::invalid_argument("model_kind_name: unknown model kind");
+}
+
 }  // namespace manhattan::mobility

@@ -26,4 +26,7 @@ struct model_options {
 /// Throws std::invalid_argument on unknown names.
 [[nodiscard]] model_kind parse_model_kind(const std::string& name);
 
+/// Inverse of parse_model_kind (sweep labels, result sinks).
+[[nodiscard]] std::string model_kind_name(model_kind kind);
+
 }  // namespace manhattan::mobility

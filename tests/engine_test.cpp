@@ -1,0 +1,311 @@
+// Unit tests for the parallel experiment engine: thread-pool semantics
+// (every task runs exactly once, exceptions propagate), deterministic
+// replica sharding (bit-identical results at 1, 2 and 8 threads), sweep-grid
+// expansion, and the structured result sinks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/runner.h"
+#include "engine/sink.h"
+#include "engine/sweep.h"
+#include "engine/thread_pool.h"
+#include "rng/splitmix64.h"
+
+namespace {
+
+namespace core = manhattan::core;
+namespace engine = manhattan::engine;
+
+core::scenario small_scenario() {
+    core::scenario sc;
+    const std::size_t n = 1200;
+    sc.params = core::net_params::standard_case(
+        n, 3.0 * std::sqrt(std::log(static_cast<double>(n))), 1.0);
+    sc.seed = 42;
+    sc.max_steps = 50'000;
+    return sc;
+}
+
+// ------------------------------------------------------------ thread pool ---
+
+TEST(thread_pool_test, parallel_for_runs_every_index_exactly_once) {
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    engine::thread_pool pool(4);
+    pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(thread_pool_test, parallel_for_with_one_thread_and_large_chunks) {
+    std::atomic<int> total{0};
+    engine::thread_pool pool(1);
+    pool.parallel_for(37, [&](std::size_t) { total.fetch_add(1); }, 8);
+    EXPECT_EQ(total.load(), 37);
+}
+
+TEST(thread_pool_test, parallel_for_propagates_exceptions) {
+    engine::thread_pool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                       ran.fetch_add(1);
+                                       if (i == 13) {
+                                           throw std::runtime_error("replica 13 failed");
+                                       }
+                                   }),
+                 std::runtime_error);
+    EXPECT_GE(ran.load(), 1);
+}
+
+TEST(thread_pool_test, submit_returns_future_carrying_result_or_exception) {
+    engine::thread_pool pool(2);
+    std::atomic<bool> ran{false};
+    auto ok = pool.submit([&] { ran = true; });
+    auto bad = pool.submit([] { throw std::invalid_argument("boom"); });
+    ok.get();
+    EXPECT_TRUE(ran.load());
+    EXPECT_THROW(bad.get(), std::invalid_argument);
+}
+
+TEST(thread_pool_test, zero_resolves_to_hardware_concurrency) {
+    engine::thread_pool pool(0);
+    EXPECT_EQ(pool.size(), engine::default_thread_count());
+    EXPECT_GE(pool.size(), 1u);
+}
+
+// --------------------------------------------------------- replica runner ---
+
+TEST(runner_test, replica_seeds_are_the_splitmix_stream) {
+    const auto seeds = engine::replica_seeds(123, 4);
+    manhattan::rng::splitmix64 reference(123);
+    ASSERT_EQ(seeds.size(), 4u);
+    for (const auto seed : seeds) {
+        EXPECT_EQ(seed, reference());
+    }
+    EXPECT_EQ(std::set<std::uint64_t>(seeds.begin(), seeds.end()).size(), 4u);
+}
+
+TEST(runner_test, results_bit_identical_across_thread_counts) {
+    const auto sc = small_scenario();
+    constexpr std::size_t kReps = 6;
+    const auto t1 = engine::flooding_times(sc, kReps, {.threads = 1});
+    const auto t2 = engine::flooding_times(sc, kReps, {.threads = 2});
+    const auto t8 = engine::flooding_times(sc, kReps, {.threads = 8});
+    ASSERT_EQ(t1.size(), kReps);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, t8);
+    // And the chunk size must not matter either.
+    const auto chunked = engine::flooding_times(sc, kReps, {.threads = 3, .chunk = 4});
+    EXPECT_EQ(t1, chunked);
+}
+
+TEST(runner_test, outcomes_match_serial_run_scenario) {
+    auto sc = small_scenario();
+    const auto outcomes = engine::run_replicas(sc, 3, {.threads = 2});
+    const auto seeds = engine::replica_seeds(sc.seed, 3);
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        core::scenario replica = sc;
+        replica.seed = seeds[r];
+        const auto reference = core::run_scenario(replica);
+        EXPECT_EQ(outcomes[r].flood.flooding_time, reference.flood.flooding_time);
+        EXPECT_EQ(outcomes[r].source_agent, reference.source_agent);
+    }
+}
+
+TEST(runner_test, core_flooding_times_delegates_to_engine) {
+    const auto sc = small_scenario();
+    const auto via_core = core::flooding_times(sc, 3);
+    const auto via_engine = engine::flooding_times(sc, 3, {.threads = 1});
+    EXPECT_EQ(via_core, via_engine);
+}
+
+TEST(runner_test, replica_errors_propagate) {
+    auto sc = small_scenario();
+    sc.params.radius = -1.0;  // invalid: every replica throws
+    EXPECT_THROW((void)engine::run_replicas(sc, 4, {.threads = 2}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ sweep ---
+
+TEST(sweep_test, expands_cartesian_grid_last_axis_fastest) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.n = {1000, 2000};
+    spec.c1 = {2.0, 3.0, 4.0};
+    spec.speed_factor = {1.0};
+    const auto points = spec.expand();
+    ASSERT_EQ(points.size(), 6u);
+    EXPECT_EQ(points[0].sc.params.n, 1000u);
+    EXPECT_EQ(points[2].sc.params.n, 1000u);
+    EXPECT_EQ(points[3].sc.params.n, 2000u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+        const auto& p = points[i].sc.params;
+        const double c1 = (i % 3 == 0) ? 2.0 : (i % 3 == 1) ? 3.0 : 4.0;
+        EXPECT_DOUBLE_EQ(p.side, std::sqrt(static_cast<double>(p.n)));
+        EXPECT_DOUBLE_EQ(p.radius, c1 * std::sqrt(std::log(static_cast<double>(p.n))));
+        EXPECT_DOUBLE_EQ(p.speed, core::paper::speed_bound(p.radius));
+        EXPECT_FALSE(points[i].label.empty());
+    }
+}
+
+TEST(sweep_test, empty_axes_keep_base_values) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    const auto points = spec.expand();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].sc.params.n, spec.base.params.n);
+    EXPECT_DOUBLE_EQ(points[0].sc.params.radius, spec.base.params.radius);
+}
+
+TEST(sweep_test, conflicting_axes_throw) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.c1 = {3.0};
+    spec.radius = {5.0};
+    EXPECT_THROW((void)spec.expand(), std::invalid_argument);
+
+    engine::sweep_spec spec2;
+    spec2.base = small_scenario();
+    spec2.speed = {0.5};
+    spec2.speed_factor = {1.0};
+    EXPECT_THROW((void)spec2.expand(), std::invalid_argument);
+
+    engine::sweep_spec spec3;
+    spec3.base = small_scenario();
+    spec3.repetitions = 0;
+    EXPECT_THROW((void)spec3.expand(), std::invalid_argument);
+}
+
+TEST(sweep_test, gossip_axis_switches_mode_and_labels) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.gossip_p = {0.25, 1.0};
+    const auto points = spec.expand();
+    ASSERT_EQ(points.size(), 2u);
+    for (const auto& point : points) {
+        EXPECT_EQ(point.sc.mode, core::propagation::gossip);
+        EXPECT_NE(point.label.find("gossip_p"), std::string::npos);
+    }
+    EXPECT_DOUBLE_EQ(points[0].sc.gossip_p, 0.25);
+}
+
+TEST(sweep_test, run_sweep_rows_match_standalone_replicas) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.c1 = {2.5, 3.5};
+    spec.repetitions = 3;
+    engine::memory_sink memory;
+    engine::result_sink* sinks[] = {&memory};
+    const auto result = engine::run_sweep(spec, {.threads = 2}, sinks);
+
+    ASSERT_EQ(result.rows.size(), 2u);
+    ASSERT_EQ(memory.rows().size(), 2u);
+    for (std::size_t p = 0; p < result.rows.size(); ++p) {
+        const auto& row = result.rows[p];
+        EXPECT_EQ(row.point.index, p);
+        // Each row must reproduce a standalone flooding_times call on the
+        // resolved scenario — the sweep reproducibility contract.
+        const auto standalone = engine::flooding_times(row.point.sc, spec.repetitions,
+                                                       {.threads = 1});
+        EXPECT_EQ(row.times, standalone);
+        EXPECT_EQ(row.summary.count, spec.repetitions);
+        EXPECT_LE(row.mean_ci.lo, row.mean_ci.hi);
+        EXPECT_TRUE(row.mean_ci.contains(row.summary.mean));
+        EXPECT_EQ(memory.rows()[p].times, row.times);
+        EXPECT_DOUBLE_EQ(row.completed_fraction, 1.0);
+    }
+}
+
+// ------------------------------------------------------------------ sinks ---
+
+TEST(sink_test, csv_sink_writes_header_and_one_line_per_row) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.c1 = {2.5, 3.0, 3.5};
+    spec.repetitions = 2;
+    std::ostringstream csv;
+    engine::csv_sink sink(csv);
+    engine::result_sink* sinks[] = {&sink};
+    (void)engine::run_sweep(spec, {.threads = 2}, sinks);
+
+    const std::string text = csv.str();
+    std::size_t lines = 0;
+    for (const char c : text) {
+        lines += c == '\n' ? 1 : 0;
+    }
+    EXPECT_EQ(lines, 4u);  // header + 3 rows
+    EXPECT_EQ(text.rfind("index,label,n,side,radius,speed,model,mode,gossip_p", 0), 0u);
+}
+
+TEST(sink_test, json_sink_emits_rows_array_with_replica_times) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.repetitions = 2;
+    std::ostringstream json;
+    engine::json_sink sink(json);
+    engine::result_sink* sinks[] = {&sink};
+    (void)engine::run_sweep(spec, {.threads = 1}, sinks);
+    sink.finish();
+    sink.finish();  // idempotent: the array is closed exactly once
+
+    const std::string text = json.str();
+    EXPECT_EQ(text.rfind("{\"rows\": [", 0), 0u);
+    EXPECT_NE(text.find("\"times\": ["), std::string::npos);
+    EXPECT_NE(text.find("\"summary\""), std::string::npos);
+    // Despite the double finish() the document is closed exactly once.
+    EXPECT_EQ(text.substr(text.size() - 4), "\n]}\n");
+    EXPECT_EQ(text.find("\n]}\n"), text.size() - 4);
+}
+
+TEST(sink_test, json_sink_with_no_rows_is_valid) {
+    std::ostringstream json;
+    engine::json_sink sink(json);
+    sink.finish();
+    EXPECT_EQ(json.str(), "{\"rows\": [\n]}\n");
+}
+
+TEST(sink_test, table_sink_prints_markdown_on_finish) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.repetitions = 2;
+    std::ostringstream out;
+    engine::table_sink sink(out);
+    engine::result_sink* sinks[] = {&sink};
+    (void)engine::run_sweep(spec, {.threads = 1}, sinks);
+    EXPECT_TRUE(out.str().empty());  // run_sweep never finalises sinks
+    sink.finish();
+    EXPECT_NE(out.str().find("mean T"), std::string::npos);
+    EXPECT_NE(out.str().find('|'), std::string::npos);
+}
+
+TEST(sink_test, one_sink_can_span_two_sweeps) {
+    // The exp_ablations pattern: two run_sweep calls feed one csv_sink;
+    // the file carries one header and the union of rows.
+    engine::sweep_spec first;
+    first.base = small_scenario();
+    first.repetitions = 2;
+    engine::sweep_spec second = first;
+    second.gossip_p = {0.5};
+    std::ostringstream csv;
+    engine::csv_sink sink(csv);
+    engine::result_sink* sinks[] = {&sink};
+    (void)engine::run_sweep(first, {.threads = 1}, sinks);
+    (void)engine::run_sweep(second, {.threads = 1}, sinks);
+    std::size_t lines = 0;
+    for (const char c : csv.str()) {
+        lines += c == '\n' ? 1 : 0;
+    }
+    EXPECT_EQ(lines, 3u);  // one header + one row per sweep
+    EXPECT_NE(csv.str().find("gossip"), std::string::npos);
+}
+
+}  // namespace

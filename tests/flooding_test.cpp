@@ -7,6 +7,7 @@
 
 #include "core/flooding.h"
 #include "core/params.h"
+#include "core/scenario.h"
 #include "mobility/mrwp.h"
 #include "mobility/static_model.h"
 #include "mobility/walker.h"
@@ -217,6 +218,56 @@ TEST(flooding_test, without_partition_no_cz_metric) {
     core::flooding_sim sim(frozen_walker({{10, 10}, {10.5, 10}}), 1.0);
     const auto result = sim.run();
     EXPECT_FALSE(result.central_zone_informed_step.has_value());
+}
+
+TEST(gossip_test, probability_one_matches_one_hop_exactly) {
+    // With p = 1 every informed agent transmits every step, so the gossip
+    // path must reproduce the one_hop protocol step for step.
+    core::scenario sc;
+    const std::size_t n = 1500;
+    sc.params = core::net_params::standard_case(
+        n, 3.0 * std::sqrt(std::log(static_cast<double>(n))), 1.0);
+    sc.seed = 9;
+    sc.max_steps = 50'000;
+    const auto one_hop = core::run_scenario(sc);
+    sc.mode = core::propagation::gossip;
+    sc.gossip_p = 1.0;
+    const auto gossip = core::run_scenario(sc);
+    ASSERT_TRUE(one_hop.flood.completed);
+    EXPECT_EQ(gossip.flood.flooding_time, one_hop.flood.flooding_time);
+    EXPECT_EQ(gossip.flood.informed_at, one_hop.flood.informed_at);
+}
+
+TEST(gossip_test, lossy_forwarding_is_deterministic_and_no_faster) {
+    core::scenario sc;
+    const std::size_t n = 1500;
+    sc.params = core::net_params::standard_case(
+        n, 3.0 * std::sqrt(std::log(static_cast<double>(n))), 1.0);
+    sc.seed = 9;
+    sc.max_steps = 50'000;
+    const auto reference = core::run_scenario(sc);
+    sc.mode = core::propagation::gossip;
+    sc.gossip_p = 0.3;
+    const auto a = core::run_scenario(sc);
+    const auto b = core::run_scenario(sc);
+    ASSERT_TRUE(a.flood.completed);
+    EXPECT_EQ(a.flood.flooding_time, b.flood.flooding_time);
+    EXPECT_EQ(a.flood.informed_at, b.flood.informed_at);
+    // Dropping transmissions can only slow the spread down.
+    EXPECT_GE(a.flood.flooding_time, reference.flood.flooding_time);
+}
+
+TEST(gossip_test, invalid_probability_throws) {
+    core::flood_config cfg;
+    cfg.mode = core::propagation::gossip;
+    cfg.gossip_p = 0.0;
+    EXPECT_THROW(core::flooding_sim(frozen_walker({{1, 1}, {2, 1}}), 1.0, cfg),
+                 std::invalid_argument);
+    cfg.gossip_p = 1.5;
+    EXPECT_THROW(core::flooding_sim(frozen_walker({{1, 1}, {2, 1}}), 1.0, cfg),
+                 std::invalid_argument);
+    cfg.gossip_p = 0.5;
+    EXPECT_NO_THROW(core::flooding_sim(frozen_walker({{1, 1}, {2, 1}}), 1.0, cfg));
 }
 
 TEST(flooding_test, moving_agents_bridge_static_gap) {
