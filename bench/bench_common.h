@@ -16,6 +16,7 @@
 #include "core/params.h"
 #include "engine/runner.h"
 #include "engine/sink.h"
+#include "engine/thread_pool.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -68,6 +69,21 @@ inline engine::run_options engine_options(const util::cli_args& args) {
 /// Replica count: `--reps=` with `--seeds=` as a legacy alias.
 inline std::size_t replicas(const util::cli_args& args, long long fallback) {
     return count_arg(args, "reps", args.get_int("seeds", fallback));
+}
+
+/// Deterministic sharded sampling: fan \p shards independent jobs over the
+/// pool, each handed its splitmix-derived seed (engine::replica_seeds) and a
+/// balanced share of \p total. Write results into per-shard slots and merge
+/// them in shard order — the tallies are then a pure function of
+/// (seed, shards, total), independent of thread count.
+template <typename Fn>
+void sharded_sample(engine::thread_pool& pool, std::size_t shards, std::uint64_t seed,
+                    std::size_t total, Fn&& fn) {
+    const auto shard_seeds = engine::replica_seeds(seed, shards);
+    pool.parallel_for(shards, [&](std::size_t s) {
+        const std::size_t quota = total / shards + (s < total % shards ? 1 : 0);
+        fn(s, shard_seeds[s], quota);
+    });
 }
 
 /// The sinks a sweep binary feeds: add your own (usually a memory_sink for

@@ -5,12 +5,14 @@
 // sparse MRWP suburb does NOT blow up flooding time relative to the uniform
 // models, despite operating exponentially below its connectivity threshold.
 //
-// Knobs: --n=16000 --c1=3 --seeds=3 --seed=1
+// One declarative engine::sweep_spec per source placement, model as the
+// swept axis, fanned over all cores.
+// Knobs: --n=16000 --c1=3 --reps=3 --seed=1 --threads=0 --csv=F --json=F
 #include <cstdio>
 
 #include "bench_common.h"
 #include "core/scenario.h"
-#include "stats/summary.h"
+#include "engine/sweep.h"
 
 using namespace manhattan;
 
@@ -18,42 +20,44 @@ int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
     const auto n = static_cast<std::size_t>(args.get_int("n", 16'000));
     const double c1 = args.get_double("c1", 3.0);
-    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+    const std::size_t reps = bench::replicas(args, 3);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
     bench::banner("BASE", "flooding time across mobility models (center vs corner source)");
 
-    const std::pair<mobility::model_kind, const char*> models[] = {
-        {mobility::model_kind::mrwp, "mrwp"},
-        {mobility::model_kind::rwp, "rwp"},
-        {mobility::model_kind::random_walk, "random_walk"},
-        {mobility::model_kind::random_direction, "random_direction"},
-    };
+    engine::sweep_spec spec;
+    spec.base.params = bench::standard_params(n, c1, 0.0);
+    spec.base.params.speed = bench::default_speed(spec.base.params.radius);
+    spec.base.seed = seed0;
+    spec.base.max_steps = 500'000;
+    spec.repetitions = reps;
+    spec.model = {mobility::model_kind::mrwp, mobility::model_kind::rwp,
+                  mobility::model_kind::random_walk, mobility::model_kind::random_direction};
+
+    bench::sink_set sinks(args);
+    const auto opts = bench::engine_options(args);
 
     util::table t({"model", "source", "mean T", "sd", "max T"});
     double mrwp_corner = 0.0;
     double uniform_best = 1e18;
-    for (const auto& [kind, name] : models) {
-        for (const auto placement :
-             {core::source_placement::center_most, core::source_placement::corner_most}) {
-            core::scenario sc;
-            sc.params = bench::standard_params(n, c1, 0.0);
-            sc.params.speed = bench::default_speed(sc.params.radius);
-            sc.model = kind;
-            sc.source = placement;
-            sc.seed = seed0;
-            sc.max_steps = 500'000;
-            const auto s = stats::summarize(core::flooding_times(sc, seeds));
-            const bool corner = placement == core::source_placement::corner_most;
+    for (const auto placement :
+         {core::source_placement::center_most, core::source_placement::corner_most}) {
+        spec.base.source = placement;
+        engine::memory_sink memory;
+        (void)engine::run_sweep(spec, opts, sinks.with(&memory));
+        const bool corner = placement == core::source_placement::corner_most;
+        for (const auto& row : memory.rows()) {
+            const auto kind = row.point.sc.model;
             if (kind == mobility::model_kind::mrwp && corner) {
-                mrwp_corner = s.mean;
+                mrwp_corner = row.summary.mean;
             }
-            if (kind != mobility::model_kind::mrwp &&
-                kind != mobility::model_kind::rwp && corner) {
-                uniform_best = std::min(uniform_best, s.mean);
+            if (kind != mobility::model_kind::mrwp && kind != mobility::model_kind::rwp &&
+                corner) {
+                uniform_best = std::min(uniform_best, row.summary.mean);
             }
-            t.add_row({name, corner ? "corner" : "center", util::fmt(s.mean),
-                       util::fmt(s.stddev), util::fmt(s.max)});
+            t.add_row({mobility::model_kind_name(kind), corner ? "corner" : "center",
+                       util::fmt(row.summary.mean), util::fmt(row.summary.stddev),
+                       util::fmt(row.summary.max)});
         }
     }
     std::printf("%s", t.markdown().c_str());

@@ -3,48 +3,65 @@
 // the premise (suburb cell count = 0 at/above the threshold radius) and the
 // conclusion, and show the contrast just below the threshold.
 //
-// Knobs: --seeds=3 --seed=1
+// One engine::sweep_spec per n (the radius axis is n-dependent), fanned over
+// all cores. Knobs: --reps=3 --seed=1 --threads=0 --csv=F --json=F
 #include <cstdio>
 
 #include "bench_common.h"
 #include "core/cell_partition.h"
 #include "core/scenario.h"
-#include "stats/summary.h"
+#include "engine/sweep.h"
 
 using namespace manhattan;
 
 int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
-    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+    const std::size_t reps = bench::replicas(args, 3);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
     bench::banner("C12", "Corollary 12: large R empties the Suburb; flooding <= 18 L/R");
+
+    bench::sink_set sinks(args);
+    const auto opts = bench::engine_options(args);
+    const double factors[] = {0.45, 1.0, 1.3};
 
     util::table t({"n", "R / threshold", "R", "suburb cells", "max T", "18 L/R", "ok"});
     bool all_ok = true;
     for (const std::size_t n : {4000u, 16'000u, 64'000u}) {
         const double side = std::sqrt(static_cast<double>(n));
         const double threshold = core::paper::large_radius_threshold(side, n);
-        for (const double factor : {0.45, 1.0, 1.3}) {
-            const double radius = factor * threshold;
+
+        engine::sweep_spec spec;
+        spec.base.params = {n, side, threshold, 0.0};
+        spec.base.seed = seed0;
+        spec.base.max_steps = 200'000;
+        spec.repetitions = reps;
+        spec.standard_case = false;  // side fixed by hand above
+        for (const double factor : factors) {
+            spec.radius.push_back(factor * threshold);
+        }
+        spec.speed_factor = {1.0};  // v = paper::speed_bound(R) per point
+
+        engine::memory_sink memory;
+        (void)engine::run_sweep(spec, opts, sinks.with(&memory));
+
+        for (const auto& row : memory.rows()) {
+            const double radius = row.point.sc.params.radius;
+            const double factor = radius / threshold;  // recover the swept factor
             std::size_t suburb_cells = 0;
             try {
                 suburb_cells = core::cell_partition(n, side, radius).suburb_cell_count();
             } catch (const std::invalid_argument&) {
                 suburb_cells = 0;  // out of Ineq. 6 regime: no partition, R huge
             }
-            core::scenario sc;
-            sc.params = {n, side, radius, bench::default_speed(radius)};
-            sc.seed = seed0;
-            sc.max_steps = 200'000;
-            const auto s = stats::summarize(core::flooding_times(sc, seeds));
             const double bound = core::paper::central_zone_flood_bound(side, radius);
             // The corollary only speaks for factor >= 1.
-            const bool ok = factor < 1.0 || (suburb_cells == 0 && s.max <= bound);
+            const bool ok =
+                factor < 1.0 || (suburb_cells == 0 && row.summary.max <= bound);
             all_ok = all_ok && ok;
             t.add_row({util::fmt(n), util::fmt(factor), util::fmt(radius),
-                       util::fmt(suburb_cells), util::fmt(s.max), util::fmt(bound),
-                       util::fmt_bool(ok)});
+                       util::fmt(suburb_cells), util::fmt(row.summary.max),
+                       util::fmt(bound), util::fmt_bool(ok)});
         }
     }
     std::printf("%s", t.markdown().c_str());

@@ -5,12 +5,15 @@
 // baseline (random_walk) is connected at the same radius — the gap is the
 // MRWP non-uniformity, not the radius.
 //
-// Knobs: --n=20000 --seed=1
+// The six radius configurations are independent; they fan over the engine
+// pool with per-slot results (deterministic at any thread count).
+// Knobs: --n=20000 --seed=1 --threads=0
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/cell_partition.h"
+#include "engine/thread_pool.h"
 #include "graph/disk_graph.h"
 #include "mobility/factory.h"
 #include "mobility/walker.h"
@@ -23,6 +26,14 @@ graph::graph_stats snapshot_stats(std::span<const geom::vec2> pts, double radius
                                   double side) {
     return graph::disk_graph(pts, radius, side).stats();
 }
+
+struct conn_row {
+    double c1 = 0.0;
+    double radius = 0.0;
+    graph::graph_stats full;
+    bool cz_connected = false;
+    bool uniform_connected = false;
+};
 
 }  // namespace
 
@@ -38,43 +49,50 @@ int main(int argc, char** argv) {
     const auto mrwp = mobility::make_model(mobility::model_kind::mrwp, side);
     const auto uniform = mobility::make_model(mobility::model_kind::random_walk, side);
 
-    util::table t({"c1", "R", "full: isolated", "full: components", "full: giant frac",
-                   "CZ: connected", "uniform: connected"});
-    bool gap_seen = false;
-    bool cz_connected_at_2 = false;
-    for (const double c1 : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0}) {
-        const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
+    const std::vector<double> c1_values = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0};
+    std::vector<conn_row> rows(c1_values.size());
+    engine::thread_pool pool(bench::engine_options(args).threads);
+    pool.parallel_for(c1_values.size(), [&](std::size_t i) {
+        conn_row& row = rows[i];
+        row.c1 = c1_values[i];
+        row.radius = row.c1 * std::sqrt(std::log(static_cast<double>(n)));
         mobility::walker w(mrwp, n, 1.0, rng::rng{seed});
-        const auto full = snapshot_stats(w.positions(), radius, side);
+        row.full = snapshot_stats(w.positions(), row.radius, side);
 
         // Central-Zone induced subgraph.
-        bool cz_connected = false;
         try {
-            const core::cell_partition cells(n, side, radius);
+            const core::cell_partition cells(n, side, row.radius);
             std::vector<geom::vec2> cz;
             for (const auto p : w.positions()) {
                 if (cells.zone_of_cell(cells.grid().cell_id_of(p)) == core::zone::central) {
                     cz.push_back(p);
                 }
             }
-            cz_connected = !cz.empty() && snapshot_stats(cz, radius, side).connected;
+            row.cz_connected = !cz.empty() && snapshot_stats(cz, row.radius, side).connected;
         } catch (const std::invalid_argument&) {
-            cz_connected = false;
+            row.cz_connected = false;
         }
 
         mobility::walker wu(uniform, n, 1.0, rng::rng{seed + 1});
-        const auto uni = snapshot_stats(wu.positions(), radius, side);
+        row.uniform_connected = snapshot_stats(wu.positions(), row.radius, side).connected;
+    });
 
-        if (c1 >= 2.0 && cz_connected) {
+    util::table t({"c1", "R", "full: isolated", "full: components", "full: giant frac",
+                   "CZ: connected", "uniform: connected"});
+    bool gap_seen = false;
+    bool cz_connected_at_2 = false;
+    for (const conn_row& row : rows) {
+        if (row.c1 >= 2.0 && row.cz_connected) {
             cz_connected_at_2 = true;
         }
-        if (cz_connected && !full.connected) {
+        if (row.cz_connected && !row.full.connected) {
             gap_seen = true;
         }
-        t.add_row({util::fmt(c1), util::fmt(radius), util::fmt(full.isolated),
-                   util::fmt(full.components),
-                   util::fmt(static_cast<double>(full.giant_size) / static_cast<double>(n)),
-                   util::fmt_bool(cz_connected), util::fmt_bool(uni.connected)});
+        t.add_row({util::fmt(row.c1), util::fmt(row.radius), util::fmt(row.full.isolated),
+                   util::fmt(row.full.components),
+                   util::fmt(static_cast<double>(row.full.giant_size) /
+                             static_cast<double>(n)),
+                   util::fmt_bool(row.cz_connected), util::fmt_bool(row.uniform_connected)});
     }
     std::printf("%s", t.markdown().c_str());
     std::printf("\n(full-square connectivity threshold is a root of n [13]; "

@@ -3,11 +3,15 @@
 // L/(nv) <= tau <= L/(4v). We sweep the window length and report the maximal
 // observed turn count across agents and windows against the bound.
 //
-// Knobs: --n=10000 --agents=2000 --rounds=8 --seed=1
+// The window sequence is stateful (one walker advances through all of them),
+// so the fan-out is *within* each step: the walker borrows the engine pool's
+// executor — outcomes are bit-identical at any thread count (docs/PERF.md).
+// Knobs: --n=10000 --agents=2000 --rounds=8 --seed=1 --threads=0
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
+#include "engine/thread_pool.h"
 #include "mobility/mrwp.h"
 #include "mobility/walker.h"
 
@@ -26,6 +30,7 @@ int main(int argc, char** argv) {
     const double speed = 1.0;
     auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
     mobility::walker w(model, agents, speed, rng::rng{seed});
+    engine::thread_pool pool(bench::engine_options(args).threads);
 
     util::table t({"tau (x L/v)", "window steps", "bound", "max turns", "mean turns",
                    "violations / windows", "ok"});
@@ -42,7 +47,7 @@ int main(int argc, char** argv) {
         std::size_t windows = 0;
         for (std::size_t round = 0; round < rounds; ++round) {
             for (std::size_t s = 0; s < window; ++s) {
-                w.step();
+                w.step(pool.executor());
             }
             const auto after = w.turn_counts();
             for (std::size_t i = 0; i < agents; ++i) {

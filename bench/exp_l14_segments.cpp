@@ -7,12 +7,16 @@
 // corner symmetry, mirrored coordinates), extract the longest inward run and
 // compare with the guarantee.
 //
-// Knobs: --n=10000 --agents=12000 --rounds=8 --seed=1
+// The trajectory is stateful across windows, so the fan-out is *within*
+// each step: the walker borrows the engine pool's executor — outcomes are
+// bit-identical at any thread count (docs/PERF.md).
+// Knobs: --n=10000 --agents=12000 --rounds=8 --seed=1 --threads=0
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
+#include "engine/thread_pool.h"
 #include "mobility/mrwp.h"
 #include "mobility/trace.h"
 #include "mobility/walker.h"
@@ -32,6 +36,7 @@ int main(int argc, char** argv) {
     const double speed = 1.0;
     auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
     mobility::walker w(model, agents, speed, rng::rng{seed});
+    engine::thread_pool pool(bench::engine_options(args).threads);
 
     util::table t({"tau (x L/v)", "corner box", "guarantee", "qualifying windows",
                    "min inward run", "mean inward run", "violations", "ok"});
@@ -63,7 +68,7 @@ int main(int argc, char** argv) {
             mobility::trajectory_recorder rec(agents);
             rec.capture(w);
             for (std::size_t s = 0; s < window; ++s) {
-                w.step();
+                w.step(pool.executor());
                 rec.capture(w);
             }
             for (const std::size_t a : chosen) {

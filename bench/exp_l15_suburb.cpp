@@ -2,51 +2,84 @@
 // at most S = 3 L^3 ln n / (2 l^2 n). We sweep (n, c1) and report the actual
 // corner extents against S, plus the component structure.
 //
-// Knobs: none beyond --help-style defaults; the sweep is fixed.
+// The (n, c1) grid points are independent; they fan over the engine pool
+// with per-slot results (deterministic at any thread count).
+// Knobs: --threads=0; the sweep itself is fixed.
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/cell_partition.h"
+#include "engine/thread_pool.h"
 
 using namespace manhattan;
 
+namespace {
+
+struct suburb_row {
+    std::size_t n = 0;
+    double c1 = 0.0;
+    double radius = 0.0;
+    std::size_t suburb_cells = 0;
+    std::size_t components = 0;
+    bool corner_regime = false;
+    double max_extent = 0.0;
+    double diameter = 0.0;
+    bool ok = false;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
-    (void)args;
 
     bench::banner("L15", "Lemma 15: Suburb diameter bounded by S; four corner components");
+
+    std::vector<std::pair<std::size_t, double>> grid;
+    for (const std::size_t n : {2000u, 10'000u, 50'000u, 200'000u}) {
+        for (const double c1 : {1.5, 2.0, 3.0}) {
+            grid.emplace_back(n, c1);
+        }
+    }
+    std::vector<suburb_row> rows(grid.size());
+    engine::thread_pool pool(bench::engine_options(args).threads);
+    pool.parallel_for(grid.size(), [&](std::size_t job) {
+        const auto [n, c1] = grid[job];
+        const double side = std::sqrt(static_cast<double>(n));
+        const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
+        const core::cell_partition cp(n, side, radius);
+        const auto extents = cp.suburb_corner_extents();
+        const double max_extent = *std::max_element(extents.begin(), extents.end());
+        const auto comps = cp.suburb_components();
+        // The paper's four-corner picture assumes the mid-edge cells are
+        // Central (true once R^2 > ~2.5 ln n; below that the suburb wraps
+        // the border into one ring — a finite-scale regime the asymptotic
+        // constants of Ineq. 7 exclude). Detect the regime directly.
+        const auto m = cp.grid().cells_per_side();
+        const bool corner_regime =
+            cp.zone_of_cell(cp.grid().id_of({m / 2, 0})) == core::zone::central;
+        const bool ok = max_extent <= cp.suburb_diameter() &&
+                        (cp.suburb_cell_count() == 0 || !corner_regime || comps.size() == 4);
+        rows[job] = {n,        c1,
+                     radius,   cp.suburb_cell_count(),
+                     comps.size(), corner_regime,
+                     max_extent,   cp.suburb_diameter(),
+                     ok};
+    });
 
     util::table t({"n", "c1", "R", "suburb cells", "components", "regime", "max extent", "S",
                    "extent/S", "ok"});
     bool all_ok = true;
-    for (const std::size_t n : {2000u, 10'000u, 50'000u, 200'000u}) {
-        const double side = std::sqrt(static_cast<double>(n));
-        for (const double c1 : {1.5, 2.0, 3.0}) {
-            const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
-            const core::cell_partition cp(n, side, radius);
-            const auto extents = cp.suburb_corner_extents();
-            const double max_extent = *std::max_element(extents.begin(), extents.end());
-            const auto comps = cp.suburb_components();
-            // The paper's four-corner picture assumes the mid-edge cells are
-            // Central (true once R^2 > ~2.5 ln n; below that the suburb wraps
-            // the border into one ring — a finite-scale regime the asymptotic
-            // constants of Ineq. 7 exclude). Detect the regime directly.
-            const auto m = cp.grid().cells_per_side();
-            const bool corner_regime =
-                cp.zone_of_cell(cp.grid().id_of({m / 2, 0})) == core::zone::central;
-            const bool ok = max_extent <= cp.suburb_diameter() &&
-                            (cp.suburb_cell_count() == 0 || !corner_regime ||
-                             comps.size() == 4);
-            all_ok = all_ok && ok;
-            t.add_row({util::fmt(n), util::fmt(c1), util::fmt(radius),
-                       util::fmt(cp.suburb_cell_count()), util::fmt(comps.size()),
-                       corner_regime ? "corners" : "border ring", util::fmt(max_extent),
-                       util::fmt(cp.suburb_diameter()),
-                       util::fmt(cp.suburb_diameter() > 0 ? max_extent / cp.suburb_diameter()
-                                                          : 0.0),
-                       util::fmt_bool(ok)});
-        }
+    for (const suburb_row& row : rows) {
+        all_ok = all_ok && row.ok;
+        t.add_row({util::fmt(row.n), util::fmt(row.c1), util::fmt(row.radius),
+                   util::fmt(row.suburb_cells), util::fmt(row.components),
+                   row.corner_regime ? "corners" : "border ring", util::fmt(row.max_extent),
+                   util::fmt(row.diameter),
+                   util::fmt(row.diameter > 0 ? row.max_extent / row.diameter : 0.0),
+                   util::fmt_bool(row.ok)});
     }
     std::printf("%s", t.markdown().c_str());
     bench::verdict(all_ok,

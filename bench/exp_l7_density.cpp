@@ -4,17 +4,35 @@
 // occupancies across Central-Zone cells over time, against the (3/8) ln n
 // expectation Definition 4 guarantees per *cell* (cores hold ~1/9 of that).
 //
-// Knobs: --n=20000 --steps=200 --seed=1
+// The three radius configurations fan over the engine pool with per-slot
+// results (deterministic at any thread count).
+// Knobs: --n=20000 --steps=200 --seed=1 --threads=0
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/cell_partition.h"
+#include "engine/thread_pool.h"
 #include "mobility/mrwp.h"
 #include "mobility/walker.h"
 
 using namespace manhattan;
+
+namespace {
+
+struct density_row {
+    double c1 = 0.0;
+    std::size_t cz_cells = 0;
+    double min_cell = 0.0;
+    double mean_cell = 0.0;
+    double min_core = 0.0;
+    double mean_core = 0.0;
+    double empty_core_rate = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
@@ -24,11 +42,12 @@ int main(int argc, char** argv) {
 
     bench::banner("L7", "Lemma 7: agent density in Central-Zone cells and cores over time");
 
-    util::table t({"c1", "CZ cells", "(3/8)ln n", "min cell occ", "mean cell occ",
-                   "min core occ", "mean core occ", "empty-core rate"});
     const double log_n = std::log(static_cast<double>(n));
-    bool mean_ok = true;
-    for (const double c1 : {3.0, 4.0, 6.0}) {
+    const std::vector<double> c1_values = {3.0, 4.0, 6.0};
+    std::vector<density_row> rows(c1_values.size());
+    engine::thread_pool pool(bench::engine_options(args).threads);
+    pool.parallel_for(c1_values.size(), [&](std::size_t job) {
+        const double c1 = c1_values[job];
         const double side = std::sqrt(static_cast<double>(n));
         const double radius = c1 * std::sqrt(log_n);
         const core::cell_partition cells(n, side, radius);
@@ -66,14 +85,23 @@ int main(int argc, char** argv) {
                 empty_cores += core_occ[id] == 0 ? 1 : 0;
             }
         }
-        const double mean_cell = sum_cell / static_cast<double>(cz_samples);
-        const double mean_core = sum_core / static_cast<double>(cz_samples);
-        mean_ok = mean_ok && mean_cell >= (3.0 / 8.0) * log_n;
-        t.add_row({util::fmt(c1), util::fmt(cells.central_cell_count()),
-                   util::fmt(3.0 / 8.0 * log_n), util::fmt(min_cell), util::fmt(mean_cell),
-                   util::fmt(min_core), util::fmt(mean_core),
-                   util::fmt(static_cast<double>(empty_cores) /
-                             static_cast<double>(cz_samples))});
+        rows[job] = {c1,
+                     cells.central_cell_count(),
+                     min_cell,
+                     sum_cell / static_cast<double>(cz_samples),
+                     min_core,
+                     sum_core / static_cast<double>(cz_samples),
+                     static_cast<double>(empty_cores) / static_cast<double>(cz_samples)};
+    });
+
+    util::table t({"c1", "CZ cells", "(3/8)ln n", "min cell occ", "mean cell occ",
+                   "min core occ", "mean core occ", "empty-core rate"});
+    bool mean_ok = true;
+    for (const density_row& row : rows) {
+        mean_ok = mean_ok && row.mean_cell >= (3.0 / 8.0) * log_n;
+        t.add_row({util::fmt(row.c1), util::fmt(row.cz_cells), util::fmt(3.0 / 8.0 * log_n),
+                   util::fmt(row.min_cell), util::fmt(row.mean_cell), util::fmt(row.min_core),
+                   util::fmt(row.mean_core), util::fmt(row.empty_core_rate)});
     }
     std::printf("%s", t.markdown().c_str());
     bench::verdict(mean_ok,

@@ -3,53 +3,55 @@
 // center- and corner-seeded floods across n and c1 and report the ratio to
 // the bound (must be < 1 everywhere; typically far below).
 //
-// Knobs: --seeds=2 --seed=1
+// One engine::sweep_spec per source placement over the (n, c1) grid; the
+// worst CZ step per point comes from sweep_row::max_cz_step.
+// Knobs: --reps=2 --seed=1 --threads=0 --csv=F --json=F
 #include <cstdio>
 
 #include "bench_common.h"
 #include "core/scenario.h"
+#include "engine/sweep.h"
 
 using namespace manhattan;
 
 int main(int argc, char** argv) {
     const util::cli_args args(argc, argv);
-    const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 2));
+    const std::size_t reps = bench::replicas(args, 2);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
     bench::banner("T10", "Theorem 10: Central Zone informed within 18 L/R");
 
+    engine::sweep_spec spec;
+    spec.base.seed = seed0;
+    spec.base.max_steps = 200'000;
+    spec.repetitions = reps;
+    spec.n = {4000, 16'000, 64'000};
+    spec.c1 = {3.0, 4.0};
+    spec.speed_factor = {1.0};
+
+    bench::sink_set sinks(args);
+    const auto opts = bench::engine_options(args);
+
     util::table t({"n", "c1", "source", "max cz step", "18 L/R", "ratio", "ok"});
     bool all_ok = true;
-    for (const std::size_t n : {4000u, 16'000u, 64'000u}) {
-        for (const double c1 : {3.0, 4.0}) {
-            for (const auto placement :
-                 {core::source_placement::center_most, core::source_placement::corner_most}) {
-                double worst = 0.0;
-                core::scenario sc;
-                sc.params = bench::standard_params(n, c1, 0.0);
-                sc.params.speed = bench::default_speed(sc.params.radius);
-                sc.source = placement;
-                sc.max_steps = 200'000;
-                for (std::size_t rep = 0; rep < seeds; ++rep) {
-                    sc.seed = seed0 + rep;
-                    const auto out = core::run_scenario(sc);
-                    if (out.flood.central_zone_informed_step) {
-                        worst = std::max(
-                            worst, static_cast<double>(*out.flood.central_zone_informed_step));
-                    } else {
-                        worst = 1e18;  // CZ never fully informed: report loudly
-                    }
-                }
-                const double bound =
-                    core::paper::central_zone_flood_bound(sc.params.side, sc.params.radius);
-                const bool ok = worst <= bound;
-                all_ok = all_ok && ok;
-                t.add_row({util::fmt(n), util::fmt(c1),
-                           placement == core::source_placement::center_most ? "center"
-                                                                            : "corner",
-                           util::fmt(worst), util::fmt(bound), util::fmt(worst / bound),
-                           util::fmt_bool(ok)});
-            }
+    for (const auto placement :
+         {core::source_placement::center_most, core::source_placement::corner_most}) {
+        spec.base.source = placement;
+        engine::memory_sink memory;
+        (void)engine::run_sweep(spec, opts, sinks.with(&memory));
+        for (const auto& row : memory.rows()) {
+            const auto& p = row.point.sc.params;
+            // A replica whose CZ never filled reports loudly.
+            const double worst =
+                row.cz_fraction >= 1.0 && row.max_cz_step ? *row.max_cz_step : 1e18;
+            const double bound = core::paper::central_zone_flood_bound(p.side, p.radius);
+            const bool ok = worst <= bound;
+            all_ok = all_ok && ok;
+            t.add_row({util::fmt(p.n), util::fmt(p.radius / std::sqrt(std::log(
+                                           static_cast<double>(p.n)))),
+                       placement == core::source_placement::center_most ? "center" : "corner",
+                       util::fmt(worst), util::fmt(bound), util::fmt(worst / bound),
+                       util::fmt_bool(ok)});
         }
     }
     std::printf("%s", t.markdown().c_str());

@@ -6,7 +6,11 @@
 // time of the F-agent at two speeds: it must respect the gate and grow as v
 // shrinks (flooding time *must* depend on v).
 //
-// Knobs: --n=4000 --attempts=600 --runs=4 --kappa=0.3 --seed=1
+// The stationary snapshots of part (a) are independent: they fan over the
+// engine pool with per-slot flags, and b_seeds is rebuilt in attempt order
+// so the selection is deterministic at any thread count. Part (b)'s stepping
+// loops borrow the pool's executor (bit-identical; docs/PERF.md).
+// Knobs: --n=4000 --attempts=600 --runs=4 --kappa=0.3 --seed=1 --threads=0
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -15,6 +19,7 @@
 #include "bench_common.h"
 #include "core/flooding.h"
 #include "density/spatial.h"
+#include "engine/thread_pool.h"
 #include "mobility/mrwp.h"
 #include "mobility/walker.h"
 
@@ -71,13 +76,18 @@ int main(int argc, char** argv) {
     const double p_b_analytic =
         std::pow(1.0 - (p_e - p_f), nn) - std::pow(1.0 - p_e, nn);
 
-    // (a) empirical P(B) over stationary snapshots.
+    // (a) empirical P(B) over stationary snapshots, fanned over the pool.
     auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+    engine::thread_pool pool(bench::engine_options(args).threads);
+    std::vector<std::uint8_t> hit(attempts, 0);
+    pool.parallel_for(attempts, [&](std::size_t a) {
+        mobility::walker w(model, n, 0.1, rng::rng{seed0 + a});
+        hit[a] = check_event_b(w.positions(), d).event_b ? 1 : 0;
+    });
     std::vector<std::uint64_t> b_seeds;
     std::size_t b_count = 0;
     for (std::size_t a = 0; a < attempts; ++a) {
-        mobility::walker w(model, n, 0.1, rng::rng{seed0 + a});
-        if (check_event_b(w.positions(), d).event_b) {
+        if (hit[a] != 0) {
             ++b_count;
             b_seeds.push_back(seed0 + a);
         }
@@ -106,7 +116,7 @@ int main(int argc, char** argv) {
             cfg.source = check.f_agent == 0 ? 1 : 0;
             cfg.max_steps = 200'000;
             cfg.record_timeline = false;
-            core::flooding_sim sim(std::move(w), radius, cfg);
+            core::flooding_sim sim(std::move(w), radius, cfg, nullptr, &pool.executor());
             while (!sim.is_informed(check.f_agent) && sim.steps_taken() < cfg.max_steps) {
                 (void)sim.step();
             }

@@ -3,12 +3,16 @@
 // size: the statistic must stay below the critical value while a uniform
 // straw-man diverges.
 //
-// Knobs: --side=100 --grid=10 --seed=1
+// Sampling is sharded over the engine pool: a fixed shard count with
+// splitmix-derived per-shard streams, merged in shard order — the statistic
+// is deterministic at any thread count.
+// Knobs: --side=100 --grid=10 --seed=1 --threads=0
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
 #include "density/spatial.h"
+#include "engine/thread_pool.h"
 #include "geom/grid_spec.h"
 #include "mobility/mrwp.h"
 #include "rng/rng.h"
@@ -32,19 +36,35 @@ int main(int argc, char** argv) {
     const double critical = stats::chi_square_critical(grid.cell_count() - 1);
 
     mobility::manhattan_random_waypoint model(side);
-    rng::rng gen(seed);
-    rng::rng gen_uniform(seed + 1);
+    engine::thread_pool pool(bench::engine_options(args).threads);
+    constexpr std::size_t kShards = 64;
 
     util::table t({"samples", "chi2 (perfect sampler)", "chi2 (uniform straw-man)",
                    "critical (alpha~1e-3)", "sampler ok"});
     bool final_pass = false;
     for (const std::size_t samples : {10'000u, 40'000u, 160'000u, 640'000u, 2'560'000u}) {
+        std::vector<std::vector<std::uint64_t>> shard_counts(
+            kShards, std::vector<std::uint64_t>(grid.cell_count(), 0));
+        std::vector<std::vector<std::uint64_t>> shard_uniform(
+            kShards, std::vector<std::uint64_t>(grid.cell_count(), 0));
+        bench::sharded_sample(
+            pool, kShards, seed ^ samples, samples,
+            [&](std::size_t s, std::uint64_t shard_seed, std::size_t quota) {
+                rng::rng gen(shard_seed);
+                rng::rng gen_uniform(shard_seed ^ 0x756e69666f726d21ULL);
+                for (std::size_t i = 0; i < quota; ++i) {
+                    ++shard_counts[s][grid.cell_id_of(model.stationary_state(gen).pos)];
+                    ++shard_uniform[s][grid.cell_id_of(
+                        {gen_uniform.uniform(0, side), gen_uniform.uniform(0, side)})];
+                }
+            });
         std::vector<std::uint64_t> counts(grid.cell_count(), 0);
         std::vector<std::uint64_t> uniform_counts(grid.cell_count(), 0);
-        for (std::size_t i = 0; i < samples; ++i) {
-            ++counts[grid.cell_id_of(model.stationary_state(gen).pos)];
-            ++uniform_counts[grid.cell_id_of(
-                {gen_uniform.uniform(0, side), gen_uniform.uniform(0, side)})];
+        for (std::size_t s = 0; s < kShards; ++s) {
+            for (std::size_t id = 0; id < grid.cell_count(); ++id) {
+                counts[id] += shard_counts[s][id];
+                uniform_counts[id] += shard_uniform[s][id];
+            }
         }
         const double stat = stats::chi_square_statistic(counts, expected);
         const double uniform_stat = stats::chi_square_statistic(uniform_counts, expected);

@@ -2,13 +2,18 @@
 // For each probe we condition perfect samples on a small position window and
 // compare: P(cross) vs 1/2, the phi split, and the four quadrant masses.
 //
-// Knobs: --side=100 --hits=6000 --box=2.5 --seed=2
+// The rejection sampling is sharded over the engine pool: each of a fixed
+// number of shards fills its own hit quota from a splitmix-derived stream,
+// so the conditional tallies are deterministic at any thread count.
+// Knobs: --side=100 --hits=6000 --box=2.5 --seed=2 --threads=0
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "density/destination.h"
+#include "engine/thread_pool.h"
 #include "mobility/mrwp.h"
 #include "rng/rng.h"
 
@@ -24,7 +29,8 @@ int main(int argc, char** argv) {
     bench::banner("T2", "Theorem 2 / Eq. 4-5: destination law conditioned on position");
 
     mobility::manhattan_random_waypoint model(side);
-    rng::rng gen(seed);
+    engine::thread_pool pool(bench::engine_options(args).threads);
+    constexpr std::size_t kShards = 32;
 
     const geom::vec2 probes[] = {{side / 3, side / 4},
                                  {side / 2, side / 2},
@@ -34,26 +40,49 @@ int main(int argc, char** argv) {
     util::table t({"probe", "P(cross) meas", "paper", "phi_S meas", "paper", "Q(SW) meas",
                    "paper", "max |err|"});
     double worst = 0.0;
+    std::size_t probe_index = 0;
     for (const auto probe : probes) {
+        struct tally {
+            std::size_t hits = 0;
+            std::size_t cross = 0;
+            std::size_t south = 0;
+            std::size_t sw = 0;
+        };
+        std::vector<tally> shards(kShards);
+        bench::sharded_sample(
+            pool, kShards, seed + 1000 * probe_index, want_hits,
+            [&](std::size_t sh, std::uint64_t shard_seed, std::size_t quota) {
+                rng::rng gen(shard_seed);
+                tally& out = shards[sh];
+                const std::size_t max_draws = 80'000'000 / kShards;
+                for (std::size_t draws = 0; out.hits < quota && draws < max_draws;
+                     ++draws) {
+                    const auto s = model.stationary_state(gen);
+                    if (std::abs(s.pos.x - probe.x) > box / 2 ||
+                        std::abs(s.pos.y - probe.y) > box / 2) {
+                        continue;
+                    }
+                    ++out.hits;
+                    if (s.on_final_leg()) {
+                        ++out.cross;
+                        if (s.dest.x == s.pos.x && s.dest.y < s.pos.y) {
+                            ++out.south;
+                        }
+                    } else if (s.dest.x < s.pos.x && s.dest.y < s.pos.y) {
+                        ++out.sw;
+                    }
+                }
+            });
+        ++probe_index;
         std::size_t hits = 0;
         std::size_t cross = 0;
         std::size_t south = 0;
         std::size_t sw = 0;
-        const std::size_t max_draws = 80'000'000;
-        for (std::size_t draws = 0; hits < want_hits && draws < max_draws; ++draws) {
-            const auto s = model.stationary_state(gen);
-            if (std::abs(s.pos.x - probe.x) > box / 2 || std::abs(s.pos.y - probe.y) > box / 2) {
-                continue;
-            }
-            ++hits;
-            if (s.on_final_leg()) {
-                ++cross;
-                if (s.dest.x == s.pos.x && s.dest.y < s.pos.y) {
-                    ++south;
-                }
-            } else if (s.dest.x < s.pos.x && s.dest.y < s.pos.y) {
-                ++sw;
-            }
+        for (const tally& sh : shards) {
+            hits += sh.hits;
+            cross += sh.cross;
+            south += sh.south;
+            sw += sh.sw;
         }
         const double h = static_cast<double>(hits);
         const double cross_meas = cross / h;

@@ -1,0 +1,187 @@
+// PERF — the intra-replica hot path: steps/sec of one flooding replica's
+// per-step loop (mobility advance -> grid rebuild -> neighbourhood scan) as
+// a function of n, for the serial path and for a borrowed thread pool at
+// several worker counts. Emits the machine-readable BENCH_flood.json rows
+// the perf trajectory tracks (see docs/PERF.md for how to read it).
+//
+// Each measurement times complete replicas (construction excluded, run()
+// timed): every per-step phase stays live for the whole window, and the
+// flooding time doubles as the determinism witness — every engine variant
+// runs the identical simulation (same seed), so the per-row flooding_time
+// must agree across engines, and the emitted JSON shows it.
+//
+// Knobs: --n=10000,31623,100000 --threads=1,4,0 --reps=3 --c1=1.0 --seed=1
+//        --max-steps=5000 --json=BENCH_flood.json
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/flooding.h"
+#include "core/params.h"
+#include "engine/thread_pool.h"
+#include "mobility/factory.h"
+#include "mobility/walker.h"
+#include "util/timer.h"
+
+using namespace manhattan;
+
+namespace {
+
+std::vector<long long> parse_list(const std::string& text) {
+    std::vector<long long> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::string token =
+            text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!token.empty()) {
+            out.push_back(std::stoll(token));
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+struct perf_row {
+    std::size_t n = 0;
+    std::string engine;       // "serial" or "pool"
+    std::size_t threads = 0;  // pool workers (0 for the serial row)
+    std::size_t steps = 0;    // summed flooding steps over the reps
+    double seconds = 0.0;     // summed run() wall time
+    double steps_per_sec = 0.0;
+    std::uint64_t flooding_time = 0;  // determinism witness: equal across engines
+    double speedup_vs_1thread = 0.0;  // 0 until the 1-thread row is known
+};
+
+/// One timed measurement: `reps` complete replicas of the identical flood
+/// (same seed every rep — identical work), run() timed, construction
+/// excluded. A null pool means the serial path.
+perf_row measure(std::size_t n, double c1, std::uint64_t seed, std::size_t reps,
+                 std::uint64_t max_steps, engine::thread_pool* pool) {
+    const double radius = c1 * std::sqrt(std::log(static_cast<double>(n)));
+    const core::net_params params = core::net_params::standard_case(
+        n, radius, core::paper::speed_bound(radius));
+    const auto model = mobility::make_model(mobility::model_kind::mrwp, params.side);
+
+    perf_row row;
+    row.n = n;
+    row.engine = pool != nullptr ? "pool" : "serial";
+    row.threads = pool != nullptr ? pool->size() : 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        rng::rng gen(seed);
+        mobility::walker agents(model, n, params.speed, gen);
+        core::flood_config cfg;
+        cfg.max_steps = max_steps;
+        cfg.record_timeline = false;
+        core::flooding_sim sim(std::move(agents), radius, cfg, nullptr,
+                               pool != nullptr ? &pool->executor() : nullptr);
+        const util::timer clock;
+        const auto result = sim.run();
+        row.seconds += clock.seconds();
+        row.steps += result.flooding_time;
+        row.flooding_time = result.flooding_time;
+    }
+    row.steps_per_sec =
+        row.seconds > 0.0 ? static_cast<double>(row.steps) / row.seconds : 0.0;
+    return row;
+}
+
+void write_json(std::ostream& out, const std::vector<perf_row>& rows, double c1,
+                std::size_t reps, std::uint64_t max_steps, std::uint64_t seed) {
+    out << "{\"bench\": \"flood_step_loop\",\n";
+    out << " \"host\": {\"hardware_concurrency\": " << engine::default_thread_count()
+        << "},\n";
+    out << " \"config\": {\"c1\": " << c1 << ", \"reps\": " << reps
+        << ", \"max_steps\": " << max_steps << ", \"seed\": " << seed
+        << ", \"model\": \"mrwp\", \"mode\": \"one_hop\"},\n";
+    out << " \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const perf_row& r = rows[i];
+        out << "  {\"n\": " << r.n << ", \"engine\": \"" << r.engine
+            << "\", \"threads\": " << r.threads << ", \"steps\": " << r.steps
+            << ", \"seconds\": " << r.seconds << ", \"steps_per_sec\": " << r.steps_per_sec
+            << ", \"flooding_time\": " << r.flooding_time
+            << ", \"speedup_vs_1thread\": " << r.speedup_vs_1thread << "}"
+            << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    out << "]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::cli_args args(argc, argv);
+    const double c1 = args.get_double("c1", 1.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const std::size_t reps = bench::replicas(args, 3);
+    const auto max_steps = static_cast<std::uint64_t>(args.get_int("max-steps", 5000));
+    const auto n_list = parse_list(args.get_string("n", "10000,31623,100000"));
+    const auto thread_list = parse_list(args.get_string("threads", "1,4,0"));
+
+    bench::banner("PERF", "intra-replica step-loop throughput (steps/sec vs n and threads)");
+
+    std::vector<perf_row> rows;
+    util::table t({"n", "engine", "threads", "steps/sec", "flood time", "speedup vs 1t"});
+    bool identical = true;
+    bool speedup_seen = false;
+    double best_speedup = 0.0;
+    for (const long long n_signed : n_list) {
+        const auto n = static_cast<std::size_t>(n_signed);
+        std::vector<perf_row> group;
+        group.push_back(measure(n, c1, seed, reps, max_steps, nullptr));
+        for (const long long threads : thread_list) {
+            engine::thread_pool pool(static_cast<std::size_t>(threads));
+            group.push_back(measure(n, c1, seed, reps, max_steps, &pool));
+        }
+        std::optional<double> one_thread_rate;
+        for (const perf_row& r : group) {
+            if (r.engine == "pool" && r.threads == 1) {
+                one_thread_rate = r.steps_per_sec;
+            }
+        }
+        for (perf_row& r : group) {
+            identical = identical && r.flooding_time == group.front().flooding_time;
+            if (one_thread_rate && *one_thread_rate > 0.0 && r.engine == "pool" &&
+                r.threads != 1) {
+                r.speedup_vs_1thread = r.steps_per_sec / *one_thread_rate;
+                best_speedup = std::max(best_speedup, r.speedup_vs_1thread);
+                speedup_seen = true;
+            }
+            t.add_row({util::fmt(r.n), r.engine, util::fmt(r.threads),
+                       util::fmt(r.steps_per_sec), util::fmt(r.flooding_time),
+                       r.speedup_vs_1thread > 0.0 ? util::fmt(r.speedup_vs_1thread) : "-"});
+            rows.push_back(r);
+        }
+    }
+    std::printf("%s", t.markdown().c_str());
+    std::printf("\ncores available: %zu\n", engine::default_thread_count());
+
+    if (args.has("json")) {
+        const auto path = args.get_string("json", "BENCH_flood.json");
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open --json file '%s'\n", path.c_str());
+            return 1;
+        }
+        write_json(out, rows, c1, reps, max_steps, seed);
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+    bench::verdict(identical,
+                   "every engine variant reproduces the identical flooding time (the "
+                   "intra-replica determinism contract)");
+    if (speedup_seen) {
+        std::printf("best speedup vs 1 pool thread: %s (meaningful only on multi-core "
+                    "hosts)\n",
+                    util::fmt(best_speedup).c_str());
+    }
+    return identical ? 0 : 1;
+}

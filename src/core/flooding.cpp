@@ -3,16 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "graph/union_find.h"
-
 namespace manhattan::core {
 
 flooding_sim::flooding_sim(mobility::walker agents, double radius, flood_config cfg,
-                           const cell_partition* cells)
+                           const cell_partition* cells, util::parallel_executor* exec)
     : walker_(std::move(agents)),
       radius_(radius),
       cfg_(cfg),
       cells_(cells),
+      exec_(exec),
       gossip_gen_(cfg.gossip_seed),
       grid_(walker_.model().side(), std::min(radius, walker_.model().side())) {
     if (!(radius > 0.0)) {
@@ -25,33 +24,104 @@ flooding_sim::flooding_sim(mobility::walker agents, double radius, flood_config 
         !(cfg_.gossip_p > 0.0 && cfg_.gossip_p <= 1.0)) {
         throw std::invalid_argument("flooding_sim: gossip_p must be in (0, 1]");
     }
-    informed_.assign(walker_.size(), 0);
-    informed_at_.assign(walker_.size(), never_informed);
+    const std::size_t n = walker_.size();
+    informed_.assign(n, 0);
+    informed_at_.assign(n, never_informed);
     informed_[cfg_.source] = 1;
     informed_at_[cfg_.source] = 0;
     informed_list_.push_back(static_cast<std::uint32_t>(cfg_.source));
     informed_count_ = 1;
+    uninformed_.reserve(n);
+    uninformed_slot_.assign(n, 0);
+    for (std::uint32_t a = 0; a < n; ++a) {
+        if (a != cfg_.source) {
+            uninformed_slot_[a] = static_cast<std::uint32_t>(uninformed_.size());
+            uninformed_.push_back(a);
+        }
+    }
     update_zone_metrics();
 }
 
-void flooding_sim::propagate_one_hop(std::vector<std::uint32_t>& newly) {
+/// Neighbourhood scan over informed-list slots [0, informed_before) whose
+/// transmit flag is set (null = every slot transmits), appending the newly
+/// informed to newly_ in the serial discovery order: ascending slot k, grid
+/// scan order within a slot, first discovery wins. The parallel path
+/// reproduces that order exactly — lanes are ascending contiguous k-ranges,
+/// each lane records its first sighting of an agent, and the lane-order
+/// merge keeps the globally first one.
+void flooding_sim::scan_transmitters(std::size_t informed_before,
+                                     const std::uint8_t* transmit) {
     const auto positions = walker_.positions();
-    const std::size_t n = walker_.size();
-    const std::size_t informed_before = informed_list_.size();
 
-    if (informed_before <= n - informed_count_) {
-        // Few informed: scan each informed agent's neighbourhood.
+    if (exec_ == nullptr) {
         for (std::size_t k = 0; k < informed_before; ++k) {
+            if (transmit != nullptr && transmit[k] == 0) {
+                continue;
+            }
             const std::uint32_t b = informed_list_[k];
             grid_.for_each_in_radius(positions[b], radius_, [&](std::uint32_t a) {
                 if (informed_[a] == 0) {
                     informed_[a] = 2;  // mark "newly informed" so we don't re-add
-                    newly.push_back(a);
+                    newly_.push_back(a);
                 }
             });
         }
-    } else {
-        // Few uninformed: probe each for an already-informed neighbour.
+        return;
+    }
+
+    const std::size_t lanes = exec_->lanes();
+    const std::size_t n = walker_.size();
+    lane_newly_.resize(lanes);
+    lane_seen_.resize(lanes);
+    if (++scan_epoch_ == 0) {  // stamp wrap-around: invalidate stale stamps
+        for (auto& seen : lane_seen_) {
+            std::fill(seen.begin(), seen.end(), 0);
+        }
+        scan_epoch_ = 1;
+    }
+    const std::uint32_t epoch = scan_epoch_;
+
+    // Parallel phase: read-only on informed_ / grid / positions; every lane
+    // writes only its own buffers. Cross-lane duplicates are possible and
+    // resolved by the ordered merge below.
+    exec_->run(informed_before, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        auto& out = lane_newly_[lane];
+        out.clear();
+        auto& seen = lane_seen_[lane];
+        seen.resize(n, 0);
+        for (std::size_t k = begin; k < end; ++k) {
+            if (transmit != nullptr && transmit[k] == 0) {
+                continue;
+            }
+            const std::uint32_t b = informed_list_[k];
+            grid_.for_each_in_radius(positions[b], radius_, [&](std::uint32_t a) {
+                if (informed_[a] == 0 && seen[a] != epoch) {
+                    seen[a] = epoch;
+                    out.push_back(a);
+                }
+            });
+        }
+    });
+
+    for (const auto& out : lane_newly_) {
+        for (const std::uint32_t a : out) {
+            if (informed_[a] == 0) {
+                informed_[a] = 2;
+                newly_.push_back(a);
+            }
+        }
+    }
+}
+
+/// The dual scan for dense informed sets: probe every still-uninformed agent
+/// for an already-informed neighbour. Each agent is appended by its own
+/// iteration only, so lane buffers concatenate to the ascending-id serial
+/// order with no dedup needed.
+void flooding_sim::scan_uninformed() {
+    const auto positions = walker_.positions();
+    const std::size_t n = walker_.size();
+
+    if (exec_ == nullptr) {
         for (std::uint32_t a = 0; a < n; ++a) {
             if (informed_[a] != 0) {
                 continue;
@@ -60,76 +130,143 @@ void flooding_sim::propagate_one_hop(std::vector<std::uint32_t>& newly) {
                 positions[a], radius_, [&](std::uint32_t b) { return informed_[b] == 1; });
             if (hit) {
                 informed_[a] = 2;
-                newly.push_back(a);
+                newly_.push_back(a);
             }
+        }
+        return;
+    }
+
+    const std::size_t lanes = exec_->lanes();
+    lane_newly_.resize(lanes);
+    exec_->run(n, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        auto& out = lane_newly_[lane];
+        out.clear();
+        for (std::size_t a = begin; a < end; ++a) {
+            if (informed_[a] != 0) {
+                continue;
+            }
+            const bool hit = grid_.any_in_radius(
+                positions[a], radius_, [&](std::uint32_t b) { return informed_[b] == 1; });
+            if (hit) {
+                out.push_back(static_cast<std::uint32_t>(a));
+            }
+        }
+    });
+    for (const auto& out : lane_newly_) {
+        for (const std::uint32_t a : out) {
+            informed_[a] = 2;
+            newly_.push_back(a);
         }
     }
 }
 
-void flooding_sim::propagate_per_component(std::vector<std::uint32_t>& newly) {
+void flooding_sim::propagate_one_hop() {
+    const std::size_t n = walker_.size();
+    const std::size_t informed_before = informed_list_.size();
+    if (informed_before <= n - informed_count_) {
+        // Few informed: scan each informed agent's neighbourhood.
+        scan_transmitters(informed_before, nullptr);
+    } else {
+        // Few uninformed: probe each for an already-informed neighbour.
+        scan_uninformed();
+    }
+}
+
+void flooding_sim::propagate_per_component() {
     const auto positions = walker_.positions();
     const std::size_t n = walker_.size();
-    graph::union_find dsu(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-        grid_.for_each_in_radius(positions[i], radius_, [&](std::uint32_t j) {
-            if (j > i) {
-                dsu.unite(i, j);
+    dsu_.reset(n);
+
+    if (exec_ == nullptr) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            grid_.for_each_in_radius(positions[i], radius_, [&](std::uint32_t j) {
+                if (j > i) {
+                    dsu_.unite(i, j);
+                }
+            });
+        }
+    } else {
+        // The expensive part — the neighbourhood scans — fans over lanes
+        // into per-lane edge lists; the near-linear unites stay serial.
+        // Connectivity (and hence the newly set) is independent of the
+        // unite order, so results match the serial path exactly.
+        const std::size_t lanes = exec_->lanes();
+        lane_edges_.resize(lanes);
+        exec_->run(n, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+            auto& edges = lane_edges_[lane];
+            edges.clear();
+            for (std::size_t i = begin; i < end; ++i) {
+                const auto a = static_cast<std::uint32_t>(i);
+                grid_.for_each_in_radius(positions[i], radius_, [&](std::uint32_t j) {
+                    if (j > a) {
+                        edges.emplace_back(a, j);
+                    }
+                });
             }
         });
+        for (const auto& edges : lane_edges_) {
+            for (const auto& [i, j] : edges) {
+                dsu_.unite(i, j);
+            }
+        }
     }
-    std::vector<std::uint8_t> root_informed(n, 0);
+
+    root_informed_.assign(n, 0);
     for (const std::uint32_t b : informed_list_) {
-        root_informed[dsu.find(b)] = 1;
+        root_informed_[dsu_.find(b)] = 1;
     }
     for (std::uint32_t a = 0; a < n; ++a) {
-        if (informed_[a] == 0 && root_informed[dsu.find(a)] != 0) {
+        if (informed_[a] == 0 && root_informed_[dsu_.find(a)] != 0) {
             informed_[a] = 2;
-            newly.push_back(a);
+            newly_.push_back(a);
         }
     }
 }
 
-void flooding_sim::propagate_gossip(std::vector<std::uint32_t>& newly) {
+void flooding_sim::propagate_gossip() {
     // Like one_hop, but each informed agent only transmits with probability
     // gossip_p. The coin is drawn for *every* informed agent every step, in
     // informing order, so the coin stream (and thus the run) depends only on
-    // (gossip_seed, informing history) — not on neighbourhood structure.
-    const auto positions = walker_.positions();
+    // (gossip_seed, informing history) — not on neighbourhood structure or
+    // thread count. Coins are drawn up front (serially) and the scans then
+    // share the one_hop machinery.
     const std::size_t informed_before = informed_list_.size();
+    transmit_.resize(informed_before);
     for (std::size_t k = 0; k < informed_before; ++k) {
-        const std::uint32_t b = informed_list_[k];
-        if (!gossip_gen_.bernoulli(cfg_.gossip_p)) {
-            continue;
-        }
-        grid_.for_each_in_radius(positions[b], radius_, [&](std::uint32_t a) {
-            if (informed_[a] == 0) {
-                informed_[a] = 2;
-                newly.push_back(a);
-            }
-        });
+        transmit_[k] = gossip_gen_.bernoulli(cfg_.gossip_p) ? 1 : 0;
     }
+    scan_transmitters(informed_before, transmit_.data());
 }
 
-void flooding_sim::commit(const std::vector<std::uint32_t>& newly) {
-    for (const std::uint32_t a : newly) {
+void flooding_sim::commit() {
+    const auto positions = walker_.positions();
+    for (const std::uint32_t a : newly_) {
         informed_[a] = 1;
         informed_at_[a] = static_cast<std::uint32_t>(step_count_);
         informed_list_.push_back(a);
-        if (cells_ != nullptr &&
-            cells_->zone_of_point(walker_.positions()[a]) == zone::suburb) {
+        // Swap-remove from the uninformed set (order there is irrelevant:
+        // only membership feeds the Central-Zone scan).
+        const std::uint32_t slot = uninformed_slot_[a];
+        const std::uint32_t last = uninformed_.back();
+        uninformed_[slot] = last;
+        uninformed_slot_[last] = slot;
+        uninformed_.pop_back();
+        if (cells_ != nullptr && cells_->zone_of_point(positions[a]) == zone::suburb) {
             last_suburb_informed_step_ = step_count_;
         }
     }
-    informed_count_ += newly.size();
+    informed_count_ += newly_.size();
 }
 
 void flooding_sim::update_zone_metrics() {
     if (cells_ == nullptr || cz_informed_step_.has_value()) {
         return;
     }
+    // Only still-uninformed agents can block the Central Zone, so the scan
+    // shrinks with the flood instead of rescanning all n agents every step.
     const auto positions = walker_.positions();
-    for (std::size_t i = 0; i < walker_.size(); ++i) {
-        if (informed_[i] == 0 && cells_->zone_of_point(positions[i]) == zone::central) {
+    for (const std::uint32_t a : uninformed_) {
+        if (cells_->zone_of_point(positions[a]) == zone::central) {
             return;  // an uninformed agent sits in a Central-Zone cell
         }
     }
@@ -138,27 +275,32 @@ void flooding_sim::update_zone_metrics() {
 
 std::size_t flooding_sim::step() {
     ++step_count_;
-    walker_.step();
-    grid_.rebuild(walker_.positions());
+    if (exec_ != nullptr) {
+        walker_.step(*exec_);
+        grid_.rebuild(walker_.positions(), *exec_);
+    } else {
+        walker_.step();
+        grid_.rebuild(walker_.positions());
+    }
 
-    std::vector<std::uint32_t> newly;
+    newly_.clear();
     switch (cfg_.mode) {
         case propagation::one_hop:
-            propagate_one_hop(newly);
+            propagate_one_hop();
             break;
         case propagation::per_component:
-            propagate_per_component(newly);
+            propagate_per_component();
             break;
         case propagation::gossip:
-            propagate_gossip(newly);
+            propagate_gossip();
             break;
     }
-    commit(newly);
+    commit();
     update_zone_metrics();
     if (cfg_.record_timeline) {
         timeline_.push_back(informed_count_);
     }
-    return newly.size();
+    return newly_.size();
 }
 
 flood_result flooding_sim::run() {

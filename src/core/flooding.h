@@ -8,11 +8,14 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/cell_partition.h"
 #include "geom/uniform_grid.h"
+#include "graph/union_find.h"
 #include "mobility/walker.h"
+#include "util/parallel.h"
 
 namespace manhattan::core {
 
@@ -58,12 +61,25 @@ struct flood_result {
 ///
 /// The walker is owned (moved in). An optional cell_partition observer
 /// enables the Central-Zone / Suburb metrics; it must outlive the simulation.
+///
+/// An optional parallel_executor (util/parallel.h, borrowed — must outlive
+/// the simulation) fans the three per-step phases (mobility advance, grid
+/// rebuild, neighbourhood scans) over its lanes. The executor never changes
+/// outcomes: every flood_result is bit-identical to the serial (null
+/// executor) run at any lane count, for every propagation mode — the same
+/// guarantee docs/ENGINE.md makes across replicas, here within one replica
+/// (see docs/PERF.md for the mechanism).
 class flooding_sim {
  public:
     /// Throws if source is out of range, radius is not positive, or (in
     /// gossip mode) gossip_p is outside (0, 1].
     flooding_sim(mobility::walker agents, double radius, flood_config cfg = {},
-                 const cell_partition* cells = nullptr);
+                 const cell_partition* cells = nullptr,
+                 util::parallel_executor* exec = nullptr);
+
+    /// Swap the borrowed executor (nullptr = serial). Takes effect from the
+    /// next step(); never changes what the simulation computes.
+    void set_executor(util::parallel_executor* exec) noexcept { exec_ = exec; }
 
     /// Advance one time step (move + transmit). Returns newly informed count.
     std::size_t step();
@@ -81,16 +97,19 @@ class flooding_sim {
     [[nodiscard]] double radius() const noexcept { return radius_; }
 
  private:
-    void propagate_one_hop(std::vector<std::uint32_t>& newly);
-    void propagate_per_component(std::vector<std::uint32_t>& newly);
-    void propagate_gossip(std::vector<std::uint32_t>& newly);
-    void commit(const std::vector<std::uint32_t>& newly);
+    void propagate_one_hop();
+    void propagate_per_component();
+    void propagate_gossip();
+    void scan_transmitters(std::size_t informed_before, const std::uint8_t* transmit);
+    void scan_uninformed();
+    void commit();
     void update_zone_metrics();
 
     mobility::walker walker_;
     double radius_;
     flood_config cfg_;
     const cell_partition* cells_;
+    util::parallel_executor* exec_;
     rng::rng gossip_gen_;
     geom::uniform_grid grid_;
     std::vector<std::uint8_t> informed_;
@@ -101,6 +120,25 @@ class flooding_sim {
     std::vector<std::size_t> timeline_;
     std::optional<std::uint64_t> cz_informed_step_;
     std::uint64_t last_suburb_informed_step_ = 0;
+
+    // Uninformed-set bookkeeping (incremental Central-Zone metric): the ids
+    // still uninformed, swap-removed in commit(), so update_zone_metrics()
+    // is O(#uninformed) instead of O(n) every step.
+    std::vector<std::uint32_t> uninformed_;
+    std::vector<std::uint32_t> uninformed_slot_;  ///< agent id -> index in uninformed_
+
+    // Per-step scratch, reused so the hot path never allocates in steady
+    // state. lane_* vectors are indexed by executor lane; the merge back
+    // into newly_ happens in lane order, which reproduces the serial
+    // discovery order exactly (see docs/PERF.md).
+    std::vector<std::uint32_t> newly_;
+    std::vector<std::vector<std::uint32_t>> lane_newly_;
+    std::vector<std::vector<std::uint32_t>> lane_seen_;  ///< per-lane epoch stamps
+    std::uint32_t scan_epoch_ = 0;
+    std::vector<std::uint8_t> transmit_;  ///< gossip coins per informed-list slot
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> lane_edges_;
+    graph::union_find dsu_{0};
+    std::vector<std::uint8_t> root_informed_;
 };
 
 }  // namespace manhattan::core

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "engine/runner.h"
+#include "engine/thread_pool.h"
 #include "geom/vec2.h"
 #include "rng/splitmix64.h"
 
@@ -85,7 +86,16 @@ scenario_outcome run_scenario(const scenario& sc) {
         out.central_cells = cells->central_cell_count();
     }
 
-    flooding_sim sim(std::move(agents), sc.params.radius, cfg, cells.get());
+    // Intra-replica pool: only spun up when asked for (sc.intra_threads != 1)
+    // so the common fan-out-over-replicas path stays pool-free per replica.
+    std::unique_ptr<engine::thread_pool> pool;
+    util::parallel_executor* exec = nullptr;
+    if (sc.intra_threads != 1) {
+        pool = std::make_unique<engine::thread_pool>(sc.intra_threads);
+        exec = &pool->executor();
+    }
+
+    flooding_sim sim(std::move(agents), sc.params.radius, cfg, cells.get(), exec);
     out.flood = sim.run();
 
     out.wall_seconds =

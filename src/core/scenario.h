@@ -35,6 +35,16 @@ struct scenario {
     std::uint64_t max_steps = 1'000'000;
     bool record_timeline = false;
     bool with_cell_partition = true;    ///< track Central-Zone metrics when feasible
+
+    /// Intra-replica worker threads for the per-step loop (mobility advance,
+    /// grid rebuild, neighbourhood scans): 1 = the plain serial path,
+    /// 0 = hardware concurrency, k = a k-worker pool. Outcomes are
+    /// bit-identical for every value (see docs/PERF.md); this knob only
+    /// trades wall-clock. Prefer it for few large replicas; when fanning
+    /// many replicas through engine::run_replicas, leave it at 1 — the
+    /// replica level already saturates the cores, and each replica would
+    /// otherwise spawn its own inner pool.
+    std::size_t intra_threads = 1;
 };
 
 /// Output of one scenario run.

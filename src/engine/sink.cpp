@@ -63,7 +63,7 @@ void csv_sink::on_row(const sweep_row& row) {
     if (!header_written_) {
         out_ << "index,label,n,side,radius,speed,model,mode,gossip_p,reps,"
                 "mean,stddev,min,median,max,ci_lo,ci_hi,completed_fraction,"
-                "mean_cz_step,suburb_diameter,wall_seconds\n";
+                "mean_cz_step,max_cz_step,cz_fraction,suburb_diameter,wall_seconds\n";
         header_written_ = true;
     }
     const auto& sc = row.point.sc;
@@ -76,6 +76,8 @@ void csv_sink::on_row(const sweep_row& row) {
          << num(row.mean_ci.lo) << ',' << num(row.mean_ci.hi) << ','
          << num(row.completed_fraction) << ','
          << (row.mean_cz_step ? num(*row.mean_cz_step) : std::string{}) << ','
+         << (row.max_cz_step ? num(*row.max_cz_step) : std::string{}) << ','
+         << num(row.cz_fraction) << ','
          << num(row.suburb_diameter) << ',' << num(row.wall_seconds) << '\n';
     out_.flush();  // a killed multi-hour sweep keeps its completed rows
 }
@@ -97,7 +99,10 @@ void json_sink::on_row(const sweep_row& row) {
          << ", " << num(row.mean_ci.hi) << "], \"completed_fraction\": "
          << num(row.completed_fraction) << ", \"suburb_diameter\": " << num(row.suburb_diameter)
          << ", \"mean_cz_step\": "
-         << (row.mean_cz_step ? num(*row.mean_cz_step) : std::string{"null"}) << "}";
+         << (row.mean_cz_step ? num(*row.mean_cz_step) : std::string{"null"})
+         << ", \"max_cz_step\": "
+         << (row.max_cz_step ? num(*row.max_cz_step) : std::string{"null"})
+         << ", \"cz_fraction\": " << num(row.cz_fraction) << "}";
     if (per_replica_times_) {
         out_ << ",\n   \"times\": [";
         for (std::size_t i = 0; i < row.times.size(); ++i) {

@@ -1,5 +1,6 @@
 #include "engine/sweep.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -168,12 +169,14 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
         row.times.reserve(reps);
         std::size_t completed = 0;
         double cz_sum = 0.0;
+        double cz_max = 0.0;
         std::size_t cz_count = 0;
         for (const auto& stat : replica_stats[p]) {
             row.times.push_back(stat.time);
             completed += stat.completed ? 1 : 0;
             if (stat.cz_step) {
                 cz_sum += static_cast<double>(*stat.cz_step);
+                cz_max = std::max(cz_max, static_cast<double>(*stat.cz_step));
                 ++cz_count;
             }
             row.wall_seconds += stat.wall_seconds;
@@ -186,7 +189,9 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
             static_cast<double>(completed) / static_cast<double>(reps);
         if (cz_count > 0) {
             row.mean_cz_step = cz_sum / static_cast<double>(cz_count);
+            row.max_cz_step = cz_max;
         }
+        row.cz_fraction = static_cast<double>(cz_count) / static_cast<double>(reps);
         row.suburb_diameter = replica_stats[p].front().suburb_diameter;
         for (result_sink* sink : sinks) {
             sink->on_row(row);

@@ -68,6 +68,8 @@ struct sweep_row {
     stats::interval mean_ci;                ///< 95% percentile-bootstrap CI of the mean
     double completed_fraction = 0.0;        ///< replicas that informed everyone
     std::optional<double> mean_cz_step;     ///< mean Central-Zone informing step
+    std::optional<double> max_cz_step;      ///< worst Central-Zone informing step
+    double cz_fraction = 0.0;               ///< replicas whose CZ filled (with partition)
     double suburb_diameter = 0.0;           ///< S at these parameters (0 = no partition)
     double wall_seconds = 0.0;              ///< summed replica wall time (CPU work)
 };

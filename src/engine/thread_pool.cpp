@@ -103,4 +103,42 @@ void thread_pool::parallel_for(std::size_t count, const std::function<void(std::
     }
 }
 
+void thread_pool::pool_executor::run(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+    if (count == 0) {
+        return;
+    }
+    const std::size_t w = lanes();
+    if (w == 1) {
+        body(0, 0, count);
+        return;
+    }
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(w);
+    for (std::size_t l = 0; l < w; ++l) {
+        const std::size_t begin = lane_begin(count, l);
+        const std::size_t end = lane_begin(count, l + 1);
+        if (begin == end) {
+            continue;
+        }
+        futures.push_back(pool_.submit([&body, l, begin, end] { body(l, begin, end); }));
+    }
+
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error) {
+                first_error = std::current_exception();
+            }
+        }
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
 }  // namespace manhattan::engine

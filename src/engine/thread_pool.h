@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/parallel.h"
+
 namespace manhattan::engine {
 
 /// Number of workers `thread_pool{0}` resolves to (hardware concurrency,
@@ -50,13 +52,37 @@ class thread_pool {
     void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                       std::size_t chunk = 0);
 
+    /// The pool as a reusable lane-partitioned executor (util/parallel.h):
+    /// one lane per worker, each lane a contiguous index range dispatched
+    /// through submit(). This is the handle flooding_sim / walker /
+    /// uniform_grid borrow for intra-replica parallelism. The reference
+    /// stays valid for the pool's lifetime and may be used for any number
+    /// of run() calls. Do NOT call executor().run() from inside a task
+    /// already running on this pool: the caller blocks while holding a
+    /// worker thread, which can deadlock a fully busy pool.
+    [[nodiscard]] util::parallel_executor& executor() noexcept { return executor_; }
+
  private:
+    /// parallel_executor over the owning pool (lane l = worker-shaped
+    /// contiguous slice, dispatched as one submit() task).
+    class pool_executor final : public util::parallel_executor {
+     public:
+        explicit pool_executor(thread_pool& pool) noexcept : pool_(pool) {}
+        [[nodiscard]] std::size_t lanes() const noexcept override { return pool_.size(); }
+        void run(std::size_t count,
+                 const std::function<void(std::size_t, std::size_t, std::size_t)>& body) override;
+
+     private:
+        thread_pool& pool_;
+    };
+
     void worker_loop();
 
     std::mutex mutex_;
     std::condition_variable wake_;
     std::deque<std::packaged_task<void()>> queue_;
     std::vector<std::thread> workers_;
+    pool_executor executor_{*this};
     bool stopping_ = false;
 };
 

@@ -21,28 +21,81 @@ std::int32_t uniform_grid::bucket_index(double v) const noexcept {
 }
 
 void uniform_grid::rebuild(std::span<const vec2> positions) {
-    points_.assign(positions.begin(), positions.end());
+    const std::size_t n = positions.size();
     const std::size_t bucket_count =
         static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_);
     offsets_.assign(bucket_count + 1, 0);
-    items_.resize(points_.size());
+    items_.resize(n);
+    sorted_points_.resize(n);
+    bucket_of_.resize(n);
 
     // Counting sort: count, prefix-sum, scatter.
-    std::vector<std::size_t> bucket_of(points_.size());
-    for (std::size_t i = 0; i < points_.size(); ++i) {
-        const std::size_t b =
-            static_cast<std::size_t>(bucket_index(points_[i].y)) * static_cast<std::size_t>(m_) +
-            static_cast<std::size_t>(bucket_index(points_[i].x));
-        bucket_of[i] = b;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t b = bucket_of(positions[i]);
+        bucket_of_[i] = static_cast<std::uint32_t>(b);
         ++offsets_[b + 1];
     }
     for (std::size_t b = 0; b < bucket_count; ++b) {
         offsets_[b + 1] += offsets_[b];
     }
-    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    for (std::size_t i = 0; i < points_.size(); ++i) {
-        items_[cursor[bucket_of[i]]++] = static_cast<std::uint32_t>(i);
+    cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t slot = cursor_[bucket_of_[i]]++;
+        items_[slot] = static_cast<std::uint32_t>(i);
+        sorted_points_[slot] = positions[i];
     }
+}
+
+void uniform_grid::rebuild(std::span<const vec2> positions, util::parallel_executor& ex) {
+    const std::size_t lanes = ex.lanes();
+    const std::size_t n = positions.size();
+    if (lanes <= 1 || n < 2 * lanes) {
+        rebuild(positions);
+        return;
+    }
+    const std::size_t bucket_count =
+        static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_);
+    items_.resize(n);
+    sorted_points_.resize(n);
+    bucket_of_.resize(n);
+    lane_hist_.assign(lanes * bucket_count, 0);
+
+    // Per-lane histograms over contiguous index slices.
+    ex.run(n, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        std::size_t* hist = lane_hist_.data() + lane * bucket_count;
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t b = bucket_of(positions[i]);
+            bucket_of_[i] = static_cast<std::uint32_t>(b);
+            ++hist[b];
+        }
+    });
+
+    // Serial merge: CSR offsets plus a starting write cursor per
+    // (bucket, lane). Within a bucket, lane slots are laid out in lane
+    // order, so the scatter below reproduces the serial item order exactly.
+    offsets_.resize(bucket_count + 1);
+    offsets_[0] = 0;
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+        std::size_t next = offsets_[b];
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            std::size_t& slot = lane_hist_[lane * bucket_count + b];
+            const std::size_t count = slot;
+            slot = next;
+            next += count;
+        }
+        offsets_[b + 1] = next;
+    }
+
+    // Parallel scatter into disjoint slot ranges (same lane partition as the
+    // histogram pass — lane_begin is a pure function of (n, lanes)).
+    ex.run(n, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        std::size_t* cursor = lane_hist_.data() + lane * bucket_count;
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t slot = cursor[bucket_of_[i]]++;
+            items_[slot] = static_cast<std::uint32_t>(i);
+            sorted_points_[slot] = positions[i];
+        }
+    });
 }
 
 std::vector<std::uint32_t> uniform_grid::query(vec2 p, double r) const {

@@ -1,8 +1,11 @@
 /// \file uniform_grid.h
 /// Bucketed spatial index over agent positions. Rebuilt once per simulated
-/// time step (counting sort, O(n)); answers "all agents within Euclidean
-/// distance r of p" by scanning the covering bucket rectangle. With bucket
-/// side ~= R this is the classic O(1 + local density) disk-graph query.
+/// time step (counting sort, O(n), optionally parallel over a lane
+/// executor); answers "all agents within Euclidean distance r of p" by
+/// scanning the covering bucket rectangle. With bucket side ~= R this is the
+/// classic O(1 + local density) disk-graph query. Positions are stored
+/// bucket-sorted, so a radius query walks contiguous memory instead of
+/// indirecting through the item ids.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +13,7 @@
 #include <vector>
 
 #include "geom/vec2.h"
+#include "util/parallel.h"
 
 namespace manhattan::geom {
 
@@ -21,14 +25,22 @@ class uniform_grid {
     /// touches at most 3x3 buckets). Throws if arguments are not positive.
     uniform_grid(double side, double min_bucket_side);
 
-    /// Re-bin all positions. Indices reported by queries refer to positions
-    /// in this span. Positions are copied so the caller may mutate theirs.
+    /// Re-bin all positions (serial counting sort; scratch buffers are
+    /// reused, so steady-state rebuilds allocate nothing). Indices reported
+    /// by queries refer to positions in this span. Positions are copied so
+    /// the caller may mutate theirs.
     void rebuild(std::span<const vec2> positions);
+
+    /// Parallel rebuild: per-lane histograms merged into the CSR offsets,
+    /// then a per-lane scatter into disjoint slot ranges. Produces arrays
+    /// bit-identical to the serial rebuild at any lane count (within every
+    /// bucket, items stay in ascending index order).
+    void rebuild(std::span<const vec2> positions, util::parallel_executor& ex);
 
     [[nodiscard]] double side() const noexcept { return side_; }
     [[nodiscard]] double bucket_side() const noexcept { return bucket_side_; }
     [[nodiscard]] std::int32_t buckets_per_side() const noexcept { return m_; }
-    [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
 
     /// Visit the index of every point with dist(point, p) <= r.
     template <typename Fn>
@@ -36,9 +48,8 @@ class uniform_grid {
         const double r2 = r * r;
         visit_buckets(p, r, [&](std::size_t begin, std::size_t end) {
             for (std::size_t k = begin; k < end; ++k) {
-                const std::uint32_t idx = items_[k];
-                if (dist2(points_[idx], p) <= r2) {
-                    fn(idx);
+                if (dist2(sorted_points_[k], p) <= r2) {
+                    fn(items_[k]);
                 }
             }
         });
@@ -52,8 +63,7 @@ class uniform_grid {
         bool found = false;
         visit_buckets_until(p, r, [&](std::size_t begin, std::size_t end) {
             for (std::size_t k = begin; k < end; ++k) {
-                const std::uint32_t idx = items_[k];
-                if (dist2(points_[idx], p) <= r2 && fn(idx)) {
+                if (dist2(sorted_points_[k], p) <= r2 && fn(items_[k])) {
                     found = true;
                     return true;
                 }
@@ -66,11 +76,12 @@ class uniform_grid {
     /// Indices of all points within distance r of p (allocating convenience).
     [[nodiscard]] std::vector<std::uint32_t> query(vec2 p, double r) const;
 
-    /// The stored copy of the last rebuild's positions.
-    [[nodiscard]] std::span<const vec2> points() const noexcept { return points_; }
-
  private:
     [[nodiscard]] std::int32_t bucket_index(double v) const noexcept;
+    [[nodiscard]] std::size_t bucket_of(vec2 p) const noexcept {
+        return static_cast<std::size_t>(bucket_index(p.y)) * static_cast<std::size_t>(m_) +
+               static_cast<std::size_t>(bucket_index(p.x));
+    }
 
     template <typename Fn>
     void visit_buckets(vec2 p, double r, Fn&& fn) const {
@@ -107,9 +118,14 @@ class uniform_grid {
     double side_;
     double bucket_side_;
     std::int32_t m_;
-    std::vector<vec2> points_;
+    std::vector<vec2> sorted_points_;    // position copies grouped by bucket (item order)
     std::vector<std::size_t> offsets_;   // CSR offsets, size m*m+1
     std::vector<std::uint32_t> items_;   // point indices grouped by bucket
+    // Rebuild scratch, reused across steps (the per-step hot path must not
+    // allocate):
+    std::vector<std::uint32_t> bucket_of_;  // bucket of every input point
+    std::vector<std::size_t> cursor_;       // serial: write cursor per bucket
+    std::vector<std::size_t> lane_hist_;    // parallel: lane-major histograms / cursors
 };
 
 }  // namespace manhattan::geom

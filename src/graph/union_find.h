@@ -12,8 +12,15 @@ namespace manhattan::graph {
 /// Disjoint-set union over elements 0..n-1.
 class union_find {
  public:
-    explicit union_find(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    explicit union_find(std::size_t n) { reset(n); }
+
+    /// Re-initialise to \p n singleton elements, reusing storage — lets a
+    /// per-step caller (per_component flooding) avoid reallocating.
+    void reset(std::size_t n) {
+        parent_.resize(n);
         std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+        size_.assign(n, 1);
+        components_ = n;
     }
 
     [[nodiscard]] std::size_t element_count() const noexcept { return parent_.size(); }

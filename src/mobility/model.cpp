@@ -11,27 +11,35 @@ mobility_model::mobility_model(double side) : side_(side) {
     }
 }
 
-advance_events advance(const mobility_model& model, trip_state& s, double distance,
-                       rng::rng& gen) {
+namespace {
+
+/// The advance() loop with an optional generator. With \p gen non-null this
+/// is the full kinematics; with gen null it stops right before the first
+/// begin_trip() draw, setting \p needs_trip and leaving (s, budget,
+/// zero_legs) positioned so a later call with a generator continues the
+/// identical float-op sequence.
+advance_events advance_core(const mobility_model& model, trip_state& s, double& budget,
+                            std::int32_t& zero_legs, rng::rng* gen, bool& needs_trip) {
     advance_events events;
-    double budget = distance;
-    int consecutive_zero_legs = 0;
+    needs_trip = false;
     while (budget > 0.0) {
         const double remaining = geom::dist(s.pos, s.waypoint);
         if (remaining <= 0.0) {
             // Degenerate leg. A pinned model (e.g. static_model) yields these
             // forever; bail out after a few so advance() terminates for every
             // model instead of spinning.
-            if (++consecutive_zero_legs > 4) {
+            if (++zero_legs > 4) {
+                budget = 0.0;  // abandon the leftover so a resume stays a no-op
                 return events;
             }
         } else {
-            consecutive_zero_legs = 0;
+            zero_legs = 0;
         }
         if (remaining > budget) {
             // Finish mid-leg: move towards the waypoint by the full budget.
             const double t = budget / remaining;
             s.pos += (s.waypoint - s.pos) * t;
+            budget = 0.0;
             return events;
         }
         budget -= remaining;
@@ -43,11 +51,51 @@ advance_events advance(const mobility_model& model, trip_state& s, double distan
             ++events.turns;
         } else {
             // Destination reached; draw the next trip.
-            model.begin_trip(s, gen);
+            if (gen == nullptr) {
+                needs_trip = true;
+                return events;
+            }
+            model.begin_trip(s, *gen);
             ++events.arrivals;
             ++events.turns;
         }
     }
+    return events;
+}
+
+}  // namespace
+
+advance_events advance(const mobility_model& model, trip_state& s, double distance,
+                       rng::rng& gen) {
+    double budget = distance;
+    std::int32_t zero_legs = 0;
+    bool needs_trip = false;
+    return advance_core(model, s, budget, zero_legs, &gen, needs_trip);
+}
+
+partial_advance advance_deterministic(const mobility_model& model, trip_state& s,
+                                      double distance) {
+    partial_advance p;
+    p.budget = distance;
+    p.events = advance_core(model, s, p.budget, p.zero_legs, nullptr, p.needs_trip);
+    return p;
+}
+
+advance_events advance_resume(const mobility_model& model, trip_state& s,
+                              const partial_advance& partial, rng::rng& gen) {
+    advance_events events;
+    if (!partial.needs_trip) {
+        return events;
+    }
+    model.begin_trip(s, gen);
+    ++events.arrivals;
+    ++events.turns;
+    double budget = partial.budget;
+    std::int32_t zero_legs = partial.zero_legs;
+    bool needs_trip = false;
+    const advance_events more = advance_core(model, s, budget, zero_legs, &gen, needs_trip);
+    events.turns += more.turns;
+    events.arrivals += more.arrivals;
     return events;
 }
 

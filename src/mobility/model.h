@@ -51,4 +51,30 @@ class mobility_model {
 advance_events advance(const mobility_model& model, trip_state& s, double distance,
                        rng::rng& gen);
 
+/// A paused advance(): everything the RNG-free prefix computed plus what is
+/// left to do. The split exists so walker::step can advance all agents in
+/// parallel *without* touching the shared generator, then replay the pending
+/// trip draws serially in agent order — consuming the RNG stream in exactly
+/// the order the all-serial advance() would (see docs/PERF.md).
+struct partial_advance {
+    advance_events events;       ///< turns/arrivals during the RNG-free prefix
+    double budget = 0.0;         ///< travel distance still unspent
+    std::int32_t zero_legs = 0;  ///< degenerate-leg counter carried into resume
+    bool needs_trip = false;     ///< stopped at a destination; begin_trip pending
+};
+
+/// The RNG-free prefix of advance(): identical kinematics, but stops right
+/// before the first begin_trip() draw (needs_trip = true) instead of drawing.
+/// When the whole distance fits inside the current trip, needs_trip is false
+/// and the advance is complete.
+[[nodiscard]] partial_advance advance_deterministic(const mobility_model& model, trip_state& s,
+                                                    double distance);
+
+/// Finish a stopped advance_deterministic(): draw the pending trip from
+/// \p gen and keep advancing (drawing further trips as needed) exactly as
+/// advance() would have. Returns only the events of the resumed portion;
+/// callers add them to partial.events. No-op when !partial.needs_trip.
+advance_events advance_resume(const mobility_model& model, trip_state& s,
+                              const partial_advance& partial, rng::rng& gen);
+
 }  // namespace manhattan::mobility

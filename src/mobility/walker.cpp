@@ -43,6 +43,35 @@ void walker::step() {
     refresh_positions();
 }
 
+void walker::step(util::parallel_executor& ex) {
+    pending_.resize(ex.lanes());
+    ex.run(agents_.size(), [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        auto& pending = pending_[lane];
+        pending.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+            const partial_advance p = advance_deterministic(*model_, agents_[i], speed_);
+            turn_counts_[i] += p.events.turns;
+            arrival_counts_[i] += p.events.arrivals;
+            if (p.needs_trip) {
+                pending.push_back({static_cast<std::uint32_t>(i), p});
+            } else {
+                positions_[i] = agents_[i].pos;
+            }
+        }
+    });
+    // Lanes are contiguous ascending ranges, so draining them in lane order
+    // visits pending agents in ascending id — the serial draw order.
+    for (auto& pending : pending_) {
+        for (const auto& [agent, partial] : pending) {
+            const advance_events ev = advance_resume(*model_, agents_[agent], partial, gen_);
+            turn_counts_[agent] += ev.turns;
+            arrival_counts_[agent] += ev.arrivals;
+            positions_[agent] = agents_[agent].pos;
+        }
+    }
+    ++steps_;
+}
+
 void walker::advance_time(double duration) {
     if (duration < 0.0) {
         throw std::invalid_argument("walker::advance_time: duration must be non-negative");

@@ -11,6 +11,7 @@
 #include "mobility/model.h"
 #include "mobility/trip.h"
 #include "rng/rng.h"
+#include "util/parallel.h"
 
 namespace manhattan::mobility {
 
@@ -29,6 +30,13 @@ class walker {
 
     /// Advance every agent by one time unit (travel distance = speed).
     void step();
+
+    /// Parallel step(): the RNG-free kinematics fan over \p ex's lanes, then
+    /// the pending trip draws replay serially in agent-id order — consuming
+    /// gen_ in exactly the order the serial step() does, so positions, trip
+    /// states and the generator state are bit-identical to step() at any
+    /// lane count (see docs/PERF.md).
+    void step(util::parallel_executor& ex);
 
     /// Advance every agent by \p duration time units without per-step
     /// bookkeeping (used to warm a non-exact sampler into stationarity;
@@ -61,6 +69,13 @@ class walker {
  private:
     void refresh_positions();
 
+    /// An agent whose parallel-phase advance stopped at a destination and
+    /// still owes a trip draw (plus possibly more travel).
+    struct pending_trip {
+        std::uint32_t agent = 0;
+        partial_advance partial;
+    };
+
     std::shared_ptr<const mobility_model> model_;
     double speed_;
     rng::rng gen_;
@@ -68,6 +83,7 @@ class walker {
     std::vector<geom::vec2> positions_;
     std::vector<std::uint64_t> turn_counts_;
     std::vector<std::uint64_t> arrival_counts_;
+    std::vector<std::vector<pending_trip>> pending_;  ///< per-lane, reused across steps
     std::uint64_t steps_ = 0;
 };
 

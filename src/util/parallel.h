@@ -1,0 +1,58 @@
+/// \file parallel.h
+/// The intra-replica parallelism seam: a lane-partitioned executor that the
+/// hot per-step loops (walker advance, grid rebuild, neighbourhood scans)
+/// borrow without depending on engine/. An executor splits an index space
+/// into `lanes()` *contiguous* ranges — lane boundaries are a pure function
+/// of (count, lanes), never of scheduling — so callers can keep per-lane
+/// buffers and merge them in lane order to reproduce the serial iteration
+/// order exactly. That is the mechanism behind the bit-identical-at-any-
+/// thread-count guarantee (see docs/PERF.md).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+namespace manhattan::util {
+
+/// Abstract lane-partitioned index-space executor.
+class parallel_executor {
+ public:
+    virtual ~parallel_executor() = default;
+
+    /// Number of contiguous ranges run() splits an index space into (>= 1).
+    [[nodiscard]] virtual std::size_t lanes() const noexcept = 0;
+
+    /// Partition [0, count) into lanes() contiguous ranges (lane l gets
+    /// [lane_begin(count, l), lane_begin(count, l+1))) and invoke
+    /// body(lane, begin, end) once per non-empty range, possibly
+    /// concurrently. Blocks until every lane returned; rethrows the first
+    /// exception after all lanes finished. body must not touch state owned
+    /// by another lane.
+    virtual void run(std::size_t count,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) = 0;
+
+    /// First index of lane \p l in a count-sized space: balanced contiguous
+    /// partition, deterministic for any (count, lanes()).
+    [[nodiscard]] std::size_t lane_begin(std::size_t count, std::size_t l) const noexcept {
+        const std::size_t w = lanes();
+        return count / w * l + std::min(l, count % w);
+    }
+};
+
+/// Inline single-lane executor: run() is a plain loop on the calling thread.
+/// Lets callers write one lane-structured implementation and still have a
+/// zero-thread code path.
+class serial_executor final : public parallel_executor {
+ public:
+    [[nodiscard]] std::size_t lanes() const noexcept override { return 1; }
+
+    void run(std::size_t count,
+             const std::function<void(std::size_t, std::size_t, std::size_t)>& body) override {
+        if (count > 0) {
+            body(0, 0, count);
+        }
+    }
+};
+
+}  // namespace manhattan::util

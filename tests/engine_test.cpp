@@ -4,11 +4,13 @@
 // expansion, and the structured result sinks.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "engine/runner.h"
 #include "engine/sink.h"
@@ -78,6 +80,70 @@ TEST(thread_pool_test, zero_resolves_to_hardware_concurrency) {
     engine::thread_pool pool(0);
     EXPECT_EQ(pool.size(), engine::default_thread_count());
     EXPECT_GE(pool.size(), 1u);
+}
+
+// ---------------------------------------------------------- pool executor ---
+
+TEST(pool_executor_test, covers_the_index_space_in_contiguous_ascending_lanes) {
+    engine::thread_pool pool(4);
+    auto& ex = pool.executor();
+    EXPECT_EQ(ex.lanes(), 4u);
+
+    constexpr std::size_t kCount = 103;
+    std::vector<std::atomic<int>> hits(kCount);
+    std::array<std::pair<std::size_t, std::size_t>, 4> ranges;
+    ex.run(kCount, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        ranges[lane] = {begin, end};
+        for (std::size_t i = begin; i < end; ++i) {
+            hits[i].fetch_add(1);
+        }
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+    // Lanes are the deterministic balanced contiguous partition.
+    std::size_t expect_begin = 0;
+    for (std::size_t l = 0; l < 4; ++l) {
+        EXPECT_EQ(ranges[l].first, expect_begin);
+        EXPECT_EQ(ranges[l].first, ex.lane_begin(kCount, l));
+        expect_begin = ranges[l].second;
+    }
+    EXPECT_EQ(expect_begin, kCount);
+}
+
+TEST(pool_executor_test, empty_count_and_exceptions) {
+    engine::thread_pool pool(2);
+    auto& ex = pool.executor();
+    bool called = false;
+    ex.run(0, [&](std::size_t, std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+    EXPECT_THROW(
+        ex.run(10,
+               [](std::size_t lane, std::size_t, std::size_t) {
+                   if (lane == 1) {
+                       throw std::runtime_error("lane 1 failed");
+                   }
+               }),
+        std::runtime_error);
+    // The pool survives a throwing run and stays usable.
+    std::atomic<int> total{0};
+    ex.run(7, [&](std::size_t, std::size_t begin, std::size_t end) {
+        total.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(total.load(), 7);
+}
+
+TEST(serial_executor_test, runs_inline_as_one_lane) {
+    manhattan::util::serial_executor ex;
+    EXPECT_EQ(ex.lanes(), 1u);
+    std::vector<std::size_t> seen;
+    ex.run(5, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        EXPECT_EQ(lane, 0u);
+        for (std::size_t i = begin; i < end; ++i) {
+            seen.push_back(i);
+        }
+    });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
 }
 
 // --------------------------------------------------------- replica runner ---

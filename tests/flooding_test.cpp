@@ -1,5 +1,7 @@
 // Unit tests for the flooding engine: exact hop semantics on frozen
-// geometries, both propagation modes, metric bookkeeping, and determinism.
+// geometries, both propagation modes, metric bookkeeping, and determinism —
+// including the intra-replica threading contract: a flood_result is
+// bit-identical for a null executor and for pools of 1, 2 and 8 workers.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -8,6 +10,7 @@
 #include "core/flooding.h"
 #include "core/params.h"
 #include "core/scenario.h"
+#include "engine/thread_pool.h"
 #include "mobility/mrwp.h"
 #include "mobility/static_model.h"
 #include "mobility/walker.h"
@@ -268,6 +271,100 @@ TEST(gossip_test, invalid_probability_throws) {
                  std::invalid_argument);
     cfg.gossip_p = 0.5;
     EXPECT_NO_THROW(core::flooding_sim(frozen_walker({{1, 1}, {2, 1}}), 1.0, cfg));
+}
+
+// ------------------------------------------------- intra-replica threading ---
+
+// Full-field comparison of two flood_results (EXPECT_EQ on every member so a
+// mismatch names the field).
+void expect_same_result(const core::flood_result& a, const core::flood_result& b) {
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.flooding_time, b.flooding_time);
+    EXPECT_EQ(a.informed_count, b.informed_count);
+    EXPECT_EQ(a.informed_at, b.informed_at);
+    EXPECT_EQ(a.timeline, b.timeline);
+    EXPECT_EQ(a.central_zone_informed_step, b.central_zone_informed_step);
+    EXPECT_EQ(a.last_suburb_informed_step, b.last_suburb_informed_step);
+}
+
+class intra_thread_determinism : public ::testing::TestWithParam<core::propagation> {
+ protected:
+    // A mobile mid-size run with a cell partition, exercising both one_hop
+    // scan branches (few-informed and few-uninformed) along the way.
+    [[nodiscard]] core::flood_result run_with(manhattan::util::parallel_executor* exec) const {
+        const std::size_t n = 1200;
+        const double side = std::sqrt(static_cast<double>(n));
+        const double radius = 2.2 * std::sqrt(std::log(static_cast<double>(n)));
+        auto model = std::make_shared<mobility::manhattan_random_waypoint>(side);
+        mobility::walker w(model, n, core::paper::speed_bound(radius), rng{321});
+        core::flood_config cfg;
+        cfg.mode = GetParam();
+        cfg.max_steps = 50'000;
+        cfg.record_timeline = true;
+        cfg.gossip_p = GetParam() == core::propagation::gossip ? 0.35 : 1.0;
+        cfg.gossip_seed = 99;
+        core::cell_partition cells(n, side, radius);
+        core::flooding_sim sim(std::move(w), radius, cfg, &cells, exec);
+        return sim.run();
+    }
+};
+
+TEST_P(intra_thread_determinism, bit_identical_across_thread_counts_and_vs_serial) {
+    // The serial (null executor) run is the pre-threading reference path.
+    const auto serial = run_with(nullptr);
+    ASSERT_TRUE(serial.completed);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        manhattan::engine::thread_pool pool(threads);
+        const auto threaded = run_with(&pool.executor());
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expect_same_result(serial, threaded);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(modes, intra_thread_determinism,
+                         ::testing::Values(core::propagation::one_hop,
+                                           core::propagation::per_component,
+                                           core::propagation::gossip));
+
+TEST(flooding_test, scenario_intra_threads_matches_serial_scenario) {
+    core::scenario sc;
+    const std::size_t n = 1500;
+    sc.params = core::net_params::standard_case(
+        n, 3.0 * std::sqrt(std::log(static_cast<double>(n))), 1.0);
+    sc.seed = 17;
+    sc.max_steps = 50'000;
+    sc.record_timeline = true;
+    const auto serial = core::run_scenario(sc);
+    sc.intra_threads = 4;
+    const auto threaded = core::run_scenario(sc);
+    ASSERT_TRUE(serial.flood.completed);
+    expect_same_result(serial.flood, threaded.flood);
+    EXPECT_EQ(serial.source_agent, threaded.source_agent);
+}
+
+TEST(flooding_test, set_executor_mid_run_does_not_change_outcomes) {
+    // Alternating serial and pooled steps must trace the same trajectory as
+    // an all-serial run: the executor is pure mechanism.
+    auto make_walker = [] {
+        auto model = std::make_shared<mobility::manhattan_random_waypoint>(kL);
+        return mobility::walker(model, 400, 1.0, rng{55});
+    };
+    core::flood_config cfg;
+    cfg.max_steps = 20'000;
+    core::flooding_sim serial(make_walker(), 6.0, cfg);
+    core::flooding_sim mixed(make_walker(), 6.0, cfg);
+    manhattan::engine::thread_pool pool(3);
+    bool pooled = false;
+    while (!serial.all_informed() && serial.steps_taken() < cfg.max_steps) {
+        mixed.set_executor(pooled ? &pool.executor() : nullptr);
+        pooled = !pooled;
+        const std::size_t a = serial.step();
+        const std::size_t b = mixed.step();
+        ASSERT_EQ(a, b) << "step " << serial.steps_taken();
+    }
+    const auto ra = serial.run();
+    const auto rb = mixed.run();
+    expect_same_result(ra, rb);
 }
 
 TEST(flooding_test, moving_agents_bridge_static_gap) {

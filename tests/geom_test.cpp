@@ -8,11 +8,13 @@
 #include <set>
 #include <vector>
 
+#include "engine/thread_pool.h"
 #include "geom/grid_spec.h"
 #include "geom/rect.h"
 #include "geom/uniform_grid.h"
 #include "geom/vec2.h"
 #include "rng/rng.h"
+#include "util/parallel.h"
 
 namespace {
 
@@ -175,6 +177,43 @@ TEST(grid_spec_test, surrounding_counts) {
     EXPECT_EQ(g.surrounding({0, 0}).size(), 3u);
     EXPECT_EQ(g.surrounding({1, 0}).size(), 5u);
     EXPECT_EQ(g.surrounding({2, 2}).size(), 8u);
+}
+
+TEST(uniform_grid_test, parallel_rebuild_matches_serial_bit_for_bit) {
+    // The per-lane histogram + scatter rebuild must reproduce the serial
+    // counting sort exactly: same item order within every bucket, hence the
+    // same visitation order in every radius query, at any lane count.
+    manhattan::rng::rng gen(404);
+    std::vector<vec2> pts(5000);
+    for (auto& p : pts) {
+        p = {gen.uniform(0.0, 50.0), gen.uniform(0.0, 50.0)};
+    }
+    uniform_grid serial(50.0, 4.0);
+    serial.rebuild(pts);
+
+    for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+        manhattan::engine::thread_pool pool(threads);
+        uniform_grid parallel(50.0, 4.0);
+        parallel.rebuild(pts, pool.executor());
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (int probe = 0; probe < 50; ++probe) {
+            const vec2 p{gen.uniform(0.0, 50.0), gen.uniform(0.0, 50.0)};
+            EXPECT_EQ(parallel.query(p, 4.0), serial.query(p, 4.0));
+        }
+    }
+}
+
+TEST(uniform_grid_test, serial_executor_rebuild_matches_plain_rebuild) {
+    manhattan::util::serial_executor ex;
+    const std::vector<vec2> pts = {{1, 1}, {9, 9}, {1.2, 1.1}, {5, 5}, {9.5, 9.5}};
+    uniform_grid a(10.0, 2.0);
+    uniform_grid b(10.0, 2.0);
+    a.rebuild(pts);
+    b.rebuild(pts, ex);
+    for (const auto& p : pts) {
+        EXPECT_EQ(a.query(p, 2.5), b.query(p, 2.5));
+    }
 }
 
 TEST(uniform_grid_test, construction_validates) {

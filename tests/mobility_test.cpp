@@ -4,7 +4,9 @@
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
+#include "engine/thread_pool.h"
 #include "geom/vec2.h"
 #include "mobility/factory.h"
 #include "mobility/mrwp.h"
@@ -406,6 +408,68 @@ TEST(factory_test, default_options_scale_with_side) {
 TEST(model_test, side_must_be_positive) {
     EXPECT_THROW((void)mobility::manhattan_random_waypoint(-1.0), std::invalid_argument);
     EXPECT_THROW((void)mobility::random_waypoint(0.0), std::invalid_argument);
+}
+
+TEST(advance_test, deterministic_plus_resume_equals_plain_advance) {
+    // The two-phase split behind walker's parallel step: the RNG-free prefix
+    // followed by a serial resume must land on the same state, events and
+    // generator position as one advance() call — for distances spanning
+    // several trips as well as mid-leg stops.
+    const mobility::manhattan_random_waypoint model(50.0);
+    for (const double distance : {0.5, 3.0, 40.0, 250.0}) {
+        manhattan::rng::rng seed_gen(31);
+        const mobility::trip_state start = model.stationary_state(seed_gen);
+        manhattan::rng::rng gen_a = seed_gen;  // identical generator states
+        manhattan::rng::rng gen_b = seed_gen;
+        mobility::trip_state a = start;
+        mobility::trip_state b = start;
+        for (int step = 0; step < 25; ++step) {
+            const auto ev_a = mobility::advance(model, a, distance, gen_a);
+            const auto partial = mobility::advance_deterministic(model, b, distance);
+            const auto resumed = mobility::advance_resume(model, b, partial, gen_b);
+            EXPECT_EQ(ev_a.turns, partial.events.turns + resumed.turns);
+            EXPECT_EQ(ev_a.arrivals, partial.events.arrivals + resumed.arrivals);
+            EXPECT_EQ(a.pos.x, b.pos.x);
+            EXPECT_EQ(a.pos.y, b.pos.y);
+            EXPECT_EQ(a.waypoint.x, b.waypoint.x);
+            EXPECT_EQ(a.dest.x, b.dest.x);
+            EXPECT_EQ(a.leg, b.leg);
+            EXPECT_EQ(gen_a.bits(), gen_b.bits());  // generators stay in lockstep
+        }
+    }
+}
+
+TEST(walker_test, parallel_step_is_bit_identical_to_serial_step) {
+    auto model = std::make_shared<mobility::manhattan_random_waypoint>(40.0);
+    mobility::walker serial(model, 500, 1.5, manhattan::rng::rng{62});
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        manhattan::engine::thread_pool pool(threads);
+        mobility::walker parallel(model, 500, 1.5, manhattan::rng::rng{62});
+        // Fresh walkers from the same seed start identical; advance the
+        // serial copy only on the first thread-count iteration.
+        mobility::walker reference(model, 500, 1.5, manhattan::rng::rng{62});
+        for (int step = 0; step < 40; ++step) {
+            reference.step();
+            parallel.step(pool.executor());
+        }
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const auto ra = reference.positions();
+        const auto rb = parallel.positions();
+        ASSERT_EQ(ra.size(), rb.size());
+        for (std::size_t i = 0; i < ra.size(); ++i) {
+            EXPECT_EQ(ra[i].x, rb[i].x) << "agent " << i;
+            EXPECT_EQ(ra[i].y, rb[i].y) << "agent " << i;
+        }
+        EXPECT_EQ(std::vector<std::uint64_t>(reference.turn_counts().begin(),
+                                             reference.turn_counts().end()),
+                  std::vector<std::uint64_t>(parallel.turn_counts().begin(),
+                                             parallel.turn_counts().end()));
+        EXPECT_EQ(std::vector<std::uint64_t>(reference.arrival_counts().begin(),
+                                             reference.arrival_counts().end()),
+                  std::vector<std::uint64_t>(parallel.arrival_counts().begin(),
+                                             parallel.arrival_counts().end()));
+        EXPECT_EQ(reference.steps_taken(), parallel.steps_taken());
+    }
 }
 
 }  // namespace
