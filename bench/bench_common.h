@@ -4,9 +4,11 @@
 /// --key=value overrides (see each main() for its knobs).
 #pragma once
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "core/params.h"
+#include "core/scenario.h"
 #include "engine/runner.h"
 #include "engine/sink.h"
 #include "engine/thread_pool.h"
@@ -69,6 +72,154 @@ inline engine::run_options engine_options(const util::cli_args& args) {
 /// Replica count: `--reps=` with `--seeds=` as a legacy alias.
 inline std::size_t replicas(const util::cli_args& args, long long fallback) {
     return count_arg(args, "reps", args.get_int("seeds", fallback));
+}
+
+/// Parse a comma-separated integer list (`--n=10000,31623`, `--sources=1,4`).
+/// Throws std::invalid_argument (naming \p flag) on an empty list, an empty
+/// element, or a non-comma separator.
+inline std::vector<long long> parse_list(const std::string& flag, const std::string& text) {
+    const auto malformed = [&]() {
+        return std::invalid_argument("--" + flag + ": malformed list '" + text + "'");
+    };
+    if (text.empty()) {
+        throw std::invalid_argument("--" + flag + ": empty list");
+    }
+    std::vector<long long> out;
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t used = 0;
+        try {
+            out.push_back(std::stoll(text.substr(pos), &used));
+        } catch (const std::exception&) {
+            throw malformed();
+        }
+        pos += used;
+        if (pos == text.size()) {
+            return out;
+        }
+        if (text[pos] != ',') {
+            throw malformed();
+        }
+        pos += 1;
+        if (pos == text.size()) {
+            throw malformed();  // trailing comma = empty last element
+        }
+    }
+}
+
+/// Parse a `--source=` value into a source spec:
+///   - `random` / `center` / `corner` (SW) / `corner_ne` / `corner_nw` /
+///     `corner_se`: placement rules, optional `:K` suffix for the K agents
+///     nearest the target (e.g. `center:4`);
+///   - `sample:K`: K agents drawn uniformly from the scenario's source seed;
+///   - a comma-separated id list (e.g. `3,17,42`): those exact agents.
+/// Throws std::invalid_argument on anything else.
+inline core::source_spec parse_source(const std::string& text) {
+    if (!text.empty() && (std::isdigit(static_cast<unsigned char>(text.front())) != 0)) {
+        std::vector<std::size_t> ids;
+        for (const long long id : parse_list("source", text)) {
+            if (id < 0) {
+                throw std::invalid_argument("--source: agent ids must be non-negative");
+            }
+            ids.push_back(static_cast<std::size_t>(id));
+        }
+        return core::source_spec::agents(std::move(ids));
+    }
+    std::string name = text;
+    std::size_t count = 1;
+    if (const std::size_t colon = text.find(':'); colon != std::string::npos) {
+        name = text.substr(0, colon);
+        // One full number and nothing else after the colon ("center:4x"
+        // hides a typo; reject it like any other malformed value).
+        const std::string suffix = text.substr(colon + 1);
+        long long parsed = 0;
+        std::size_t used = 0;
+        try {
+            parsed = std::stoll(suffix, &used);
+        } catch (const std::exception&) {
+            throw std::invalid_argument("--source: malformed count in '" + text + "'");
+        }
+        if (used != suffix.size() || parsed <= 0) {
+            throw std::invalid_argument("--source: malformed count in '" + text + "'");
+        }
+        count = static_cast<std::size_t>(parsed);
+    }
+    if (name == "sample") {
+        return core::source_spec::random(count);
+    }
+    static const std::map<std::string, core::source_placement> placements = {
+        {"random", core::source_placement::random_agent},
+        {"center", core::source_placement::center_most},
+        {"corner", core::source_placement::corner_most},
+        {"corner_sw", core::source_placement::corner_most},
+        {"corner_ne", core::source_placement::corner_ne},
+        {"corner_nw", core::source_placement::corner_nw},
+        {"corner_se", core::source_placement::corner_se},
+    };
+    const auto it = placements.find(name);
+    if (it == placements.end()) {
+        throw std::invalid_argument("--source: unknown placement '" + text + "'");
+    }
+    return core::source_spec::at(it->second, count);
+}
+
+/// Human name of a placement rule (labels in source-contrast benches).
+inline const char* placement_name(core::source_placement p) {
+    switch (p) {
+        case core::source_placement::random_agent:
+            return "random";
+        case core::source_placement::center_most:
+            return "center";
+        case core::source_placement::corner_most:
+            return "corner";
+        case core::source_placement::corner_ne:
+            return "corner_ne";
+        case core::source_placement::corner_nw:
+            return "corner_nw";
+        case core::source_placement::corner_se:
+            return "corner_se";
+    }
+    return "?";
+}
+
+/// Placement list for benches that contrast several source positions: a
+/// `--source=` placement name collapses the contrast to that placement;
+/// otherwise the bench's default list. (Non-placement specs — id lists,
+/// `sample:K` — don't name a contrast column and are rejected here.)
+inline std::vector<core::source_placement> source_contrast(
+    const util::cli_args& args, std::vector<core::source_placement> fallback) {
+    if (!args.has("source")) {
+        return fallback;
+    }
+    const core::source_spec spec = parse_source(args.get_string("source", ""));
+    if (spec.how != core::source_spec::kind::placement) {
+        throw std::invalid_argument(
+            "--source: this bench contrasts source placements; pass a placement name");
+    }
+    if (spec.count != 1) {
+        throw std::invalid_argument(
+            "--source: this bench floods from a single agent; drop the :" +
+            std::to_string(spec.count) + " count suffix");
+    }
+    return {spec.placement};
+}
+
+/// Apply the shared `--source=` flag (see parse_source) to a scenario: the
+/// spread workload is materialised and every message's source spec replaced.
+/// Placement names also update the legacy `scenario::source` field so sweep
+/// labels stay consistent. No-op when the flag is absent.
+inline void apply_source(const util::cli_args& args, core::scenario& sc) {
+    if (!args.has("source")) {
+        return;
+    }
+    const core::source_spec spec = parse_source(args.get_string("source", ""));
+    sc.spread = sc.effective_spread();
+    for (auto& msg : sc.spread.messages) {
+        msg.sources = spec;
+    }
+    if (spec.how == core::source_spec::kind::placement) {
+        sc.source = spec.placement;
+    }
 }
 
 /// Deterministic sharded sampling: fan \p shards independent jobs over the

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     base.params.speed = bench::default_speed(base.params.radius);
     base.seed = seed0;
     base.max_steps = 500'000;
+    bench::apply_source(args, base);  // --source= applies to every ablation
 
     util::table t({"ablation", "variant", "mean T", "note"});
 

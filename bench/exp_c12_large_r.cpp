@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
             spec.radius.push_back(factor * threshold);
         }
         spec.speed_factor = {1.0};  // v = paper::speed_bound(R) per point
+        bench::apply_source(args, spec.base);  // --source= overrides the default
 
         engine::memory_sink memory;
         (void)engine::run_sweep(spec, opts, sinks.with(&memory));

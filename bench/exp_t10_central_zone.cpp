@@ -32,10 +32,13 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     const auto opts = bench::engine_options(args);
 
+    // --source= collapses the center/corner contrast to one pinned placement.
+    const auto placements = bench::source_contrast(
+        args, {core::source_placement::center_most, core::source_placement::corner_most});
+
     util::table t({"n", "c1", "source", "max cz step", "18 L/R", "ratio", "ok"});
     bool all_ok = true;
-    for (const auto placement :
-         {core::source_placement::center_most, core::source_placement::corner_most}) {
+    for (const auto placement : placements) {
         spec.base.source = placement;
         engine::memory_sink memory;
         (void)engine::run_sweep(spec, opts, sinks.with(&memory));
@@ -49,7 +52,7 @@ int main(int argc, char** argv) {
             all_ok = all_ok && ok;
             t.add_row({util::fmt(p.n), util::fmt(p.radius / std::sqrt(std::log(
                                            static_cast<double>(p.n)))),
-                       placement == core::source_placement::center_most ? "center" : "corner",
+                       bench::placement_name(placement),
                        util::fmt(worst), util::fmt(bound), util::fmt(worst / bound),
                        util::fmt_bool(ok)});
         }

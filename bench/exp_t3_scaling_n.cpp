@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
     spec.n = {4000, 8000, 16'000, 32'000, 64'000};
     spec.c1 = {c1};
     spec.speed_factor = {1.0};
+    bench::apply_source(args, spec.base);  // --source= overrides center_most
 
     engine::memory_sink memory;
     bench::sink_set sinks(args);

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
     spec.n = {n};
     spec.c1 = {1.5, 2.0, 2.5, 3.0, 4.0, 6.0};
     spec.speed_factor = {1.0};
+    bench::apply_source(args, spec.base);  // --source= overrides center_most
 
     engine::memory_sink memory;
     bench::sink_set sinks(args);

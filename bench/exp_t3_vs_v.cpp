@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     spec.n = {n};
     spec.c1 = {c1};
     spec.speed = {v_max, 0.2, 0.1, 0.05, 0.02};
+    bench::apply_source(args, spec.base);  // --source= overrides center_most
 
     engine::memory_sink memory;
     bench::sink_set sinks(args);

@@ -12,11 +12,21 @@
 //
 // Knobs: --n=10000,31623,100000 --threads=1,4,0 --reps=3 --c1=1.0 --seed=1
 //        --max-steps=5000 --json=BENCH_flood.json
+//        --baseline=BENCH_flood.json --regress-tol=0.25
+//
+// --baseline= compares this run's per-step throughput against a previously
+// emitted BENCH_flood.json: a matched (n, engine, threads) row whose
+// steps_per_sec fell by more than --regress-tol (default 25%) fails the
+// binary. The comparison only *enforces* when the baseline was measured on
+// a host with the same hardware concurrency — a 1-core laptop must not fail
+// CI against an 8-core baseline (or vice versa); mismatches warn and pass.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,24 +41,6 @@
 using namespace manhattan;
 
 namespace {
-
-std::vector<long long> parse_list(const std::string& text) {
-    std::vector<long long> out;
-    std::size_t pos = 0;
-    while (pos < text.size()) {
-        const std::size_t comma = text.find(',', pos);
-        const std::string token =
-            text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
-        if (!token.empty()) {
-            out.push_back(std::stoll(token));
-        }
-        if (comma == std::string::npos) {
-            break;
-        }
-        pos = comma + 1;
-    }
-    return out;
-}
 
 struct perf_row {
     std::size_t n = 0;
@@ -94,6 +86,96 @@ perf_row measure(std::size_t n, double c1, std::uint64_t seed, std::size_t reps,
     return row;
 }
 
+/// One baseline row parsed back out of a BENCH_flood.json.
+struct baseline_row {
+    std::size_t n = 0;
+    std::string engine;
+    std::size_t threads = 0;
+    double steps_per_sec = 0.0;
+};
+
+struct baseline_file {
+    std::size_t hardware_concurrency = 0;
+    std::vector<baseline_row> rows;
+};
+
+/// Extract the number following "key": in \p text from \p pos (the file is
+/// our own write_json output, so a flat scan is enough).
+double field_after(const std::string& text, const std::string& key, std::size_t pos) {
+    const std::size_t at = text.find('"' + key + "\":", pos);
+    if (at == std::string::npos) {
+        throw std::invalid_argument("baseline: missing field '" + key + "'");
+    }
+    return std::stod(text.substr(at + key.size() + 3));
+}
+
+baseline_file parse_baseline(std::istream& in) {
+    std::string text{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+    baseline_file base;
+    base.hardware_concurrency =
+        static_cast<std::size_t>(field_after(text, "hardware_concurrency", 0));
+    std::size_t pos = text.find("\"rows\"");
+    if (pos == std::string::npos) {
+        throw std::invalid_argument("baseline: no rows array");
+    }
+    while ((pos = text.find("{\"n\":", pos)) != std::string::npos) {
+        baseline_row row;
+        row.n = static_cast<std::size_t>(field_after(text, "n", pos));
+        const std::size_t engine_at = text.find("\"engine\": \"", pos);
+        if (engine_at == std::string::npos) {
+            throw std::invalid_argument("baseline: row missing field 'engine'");
+        }
+        const std::size_t engine_from = engine_at + 11;
+        row.engine = text.substr(engine_from, text.find('"', engine_from) - engine_from);
+        row.threads = static_cast<std::size_t>(field_after(text, "threads", pos));
+        row.steps_per_sec = field_after(text, "steps_per_sec", pos);
+        base.rows.push_back(std::move(row));
+        ++pos;
+    }
+    return base;
+}
+
+/// Compare measured rows against the baseline. Returns false (regression)
+/// when any matched row's throughput dropped by more than \p tolerance and
+/// the baseline host matches; prints one line per matched row either way.
+bool check_baseline(const baseline_file& base, const std::vector<perf_row>& rows,
+                    double tolerance) {
+    const bool host_match = base.hardware_concurrency == engine::default_thread_count();
+    if (!host_match) {
+        std::printf("\nbaseline host has %zu hardware threads, this host %zu — "
+                    "reporting only, not enforcing\n",
+                    base.hardware_concurrency, engine::default_thread_count());
+    }
+    bool ok = true;
+    std::size_t matched = 0;
+    for (const perf_row& row : rows) {
+        for (const baseline_row& ref : base.rows) {
+            if (ref.n != row.n || ref.engine != row.engine || ref.threads != row.threads) {
+                continue;
+            }
+            ++matched;
+            const double ratio =
+                ref.steps_per_sec > 0.0 ? row.steps_per_sec / ref.steps_per_sec : 1.0;
+            const bool regressed = ratio < 1.0 - tolerance;
+            std::printf("baseline n=%zu %s/%zu: %.4g -> %.4g steps/s (x%.2f)%s\n", row.n,
+                        row.engine.c_str(), row.threads, ref.steps_per_sec,
+                        row.steps_per_sec, ratio,
+                        regressed ? (host_match ? "  REGRESSION" : "  (slower)") : "");
+            ok = ok && (!regressed || !host_match);
+            break;
+        }
+    }
+    if (matched == 0) {
+        // An armed gate that matches nothing enforces nothing: fail loudly
+        // on a matching host so axis drift between the CI command and the
+        // checked-in baseline cannot silently disarm the check.
+        std::printf("baseline: no (n, engine, threads) rows matched — check --n/--threads%s\n",
+                    host_match ? "  REGRESSION GATE DISARMED" : "");
+        return !host_match;
+    }
+    return ok;
+}
+
 void write_json(std::ostream& out, const std::vector<perf_row>& rows, double c1,
                 std::size_t reps, std::uint64_t max_steps, std::uint64_t seed) {
     out << "{\"bench\": \"flood_step_loop\",\n";
@@ -123,8 +205,8 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const std::size_t reps = bench::replicas(args, 3);
     const auto max_steps = static_cast<std::uint64_t>(args.get_int("max-steps", 5000));
-    const auto n_list = parse_list(args.get_string("n", "10000,31623,100000"));
-    const auto thread_list = parse_list(args.get_string("threads", "1,4,0"));
+    const auto n_list = bench::parse_list("n", args.get_string("n", "10000,31623,100000"));
+    const auto thread_list = bench::parse_list("threads", args.get_string("threads", "1,4,0"));
 
     bench::banner("PERF", "intra-replica step-loop throughput (steps/sec vs n and threads)");
 
@@ -175,13 +257,29 @@ int main(int argc, char** argv) {
         std::printf("wrote %s\n", path.c_str());
     }
 
+    bool baseline_ok = true;
+    if (args.has("baseline")) {
+        const auto path = args.get_string("baseline", "BENCH_flood.json");
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open --baseline file '%s'\n", path.c_str());
+            return 1;
+        }
+        const double tolerance = args.get_double("regress-tol", 0.25);
+        baseline_ok = check_baseline(parse_baseline(in), rows, tolerance);
+    }
+
     bench::verdict(identical,
                    "every engine variant reproduces the identical flooding time (the "
                    "intra-replica determinism contract)");
+    if (!baseline_ok) {
+        bench::verdict(false, "per-step throughput within tolerance of the baseline "
+                              "(--baseline= regression gate)");
+    }
     if (speedup_seen) {
         std::printf("best speedup vs 1 pool thread: %s (meaningful only on multi-core "
                     "hosts)\n",
                     util::fmt(best_speedup).c_str());
     }
-    return identical ? 0 : 1;
+    return identical && baseline_ok ? 0 : 1;
 }

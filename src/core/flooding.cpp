@@ -1,45 +1,97 @@
 #include "core/flooding.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace manhattan::core {
 
-flooding_sim::flooding_sim(mobility::walker agents, double radius, flood_config cfg,
+spread_config flood_config::to_spread_config() const {
+    spread_config cfg;
+    cfg.max_steps = max_steps;
+    cfg.record_timeline = record_timeline;
+    message_spec msg;
+    msg.sources = source_spec::agents({source});
+    msg.mode = mode;
+    msg.gossip_p = gossip_p;
+    msg.gossip_seed = gossip_seed;
+    cfg.spread.messages.push_back(std::move(msg));
+    return cfg;
+}
+
+flooding_sim::flooding_sim(mobility::walker agents, double radius, spread_config cfg,
                            const cell_partition* cells, util::parallel_executor* exec)
     : walker_(std::move(agents)),
       radius_(radius),
-      cfg_(cfg),
+      cfg_(std::move(cfg)),
       cells_(cells),
       exec_(exec),
-      gossip_gen_(cfg.gossip_seed),
       grid_(walker_.model().side(), std::min(radius, walker_.model().side())) {
     if (!(radius > 0.0)) {
         throw std::invalid_argument("flooding_sim: radius must be positive");
     }
-    if (cfg_.source >= walker_.size()) {
-        throw std::invalid_argument("flooding_sim: source agent out of range");
+    if (cfg_.spread.messages.empty()) {
+        throw std::invalid_argument("flooding_sim: spread workload has no messages");
     }
-    if (cfg_.mode == propagation::gossip &&
-        !(cfg_.gossip_p > 0.0 && cfg_.gossip_p <= 1.0)) {
-        throw std::invalid_argument("flooding_sim: gossip_p must be in (0, 1]");
-    }
+    cfg_.spread.stop.validate();
     const std::size_t n = walker_.size();
-    informed_.assign(n, 0);
-    informed_at_.assign(n, never_informed);
-    informed_[cfg_.source] = 1;
-    informed_at_[cfg_.source] = 0;
-    informed_list_.push_back(static_cast<std::uint32_t>(cfg_.source));
-    informed_count_ = 1;
-    uninformed_.reserve(n);
-    uninformed_slot_.assign(n, 0);
-    for (std::uint32_t a = 0; a < n; ++a) {
-        if (a != cfg_.source) {
-            uninformed_slot_[a] = static_cast<std::uint32_t>(uninformed_.size());
-            uninformed_.push_back(a);
+    messages_.reserve(cfg_.spread.messages.size());
+    for (const message_spec& spec : cfg_.spread.messages) {
+        spec.sources.validate(n);
+        if (spec.mode == propagation::gossip &&
+            !(spec.gossip_p > 0.0 && spec.gossip_p <= 1.0)) {
+            throw std::invalid_argument("flooding_sim: gossip_p must be in (0, 1]");
+        }
+        message_state msg;
+        msg.spec = spec;
+        msg.gossip_gen = rng::rng(spec.gossip_seed);
+        messages_.push_back(std::move(msg));
+    }
+    if (cfg_.spread.stop.how == stop_rule::kind::informed_fraction) {
+        const auto target = static_cast<std::size_t>(
+            std::ceil(cfg_.spread.stop.fraction * static_cast<double>(n)));
+        stop_fraction_count_ = std::clamp<std::size_t>(target, 1, n);
+    }
+    for (message_state& msg : messages_) {
+        if (msg.spec.spawn_step == 0) {
+            spawn(msg);
         }
     }
-    update_zone_metrics();
+    refresh_stop_satisfaction();
+}
+
+flooding_sim::flooding_sim(mobility::walker agents, double radius, flood_config cfg,
+                           const cell_partition* cells, util::parallel_executor* exec)
+    : flooding_sim(std::move(agents), radius, cfg.to_spread_config(), cells, exec) {}
+
+/// Mark a message's resolved sources informed at the current step. Sources
+/// are resolved against the *current* positions (a message spawned at step s
+/// originates wherever its placement rule points at step s); the uninformed
+/// set and Central-Zone metric start tracking from here.
+void flooding_sim::spawn(message_state& msg) {
+    const std::size_t n = walker_.size();
+    msg.sources = resolve_sources(msg.spec.sources, walker_.positions(),
+                                  walker_.model().side(), msg.spec.source_seed);
+    msg.informed.assign(n, 0);
+    msg.informed_at.assign(n, never_informed);
+    msg.informed_list.reserve(n);
+    for (const std::uint32_t id : msg.sources) {
+        msg.informed[id] = 1;
+        msg.informed_at[id] = static_cast<std::uint32_t>(step_count_);
+        msg.informed_list.push_back(id);
+    }
+    msg.informed_count = msg.sources.size();
+    msg.last_informed_step = step_count_;
+    msg.uninformed.reserve(n);
+    msg.uninformed_slot.assign(n, 0);
+    for (std::uint32_t a = 0; a < n; ++a) {
+        if (msg.informed[a] == 0) {
+            msg.uninformed_slot[a] = static_cast<std::uint32_t>(msg.uninformed.size());
+            msg.uninformed.push_back(a);
+        }
+    }
+    msg.spawned = true;
+    update_zone_metrics(msg);
 }
 
 /// Neighbourhood scan over informed-list slots [0, informed_before) whose
@@ -49,7 +101,7 @@ flooding_sim::flooding_sim(mobility::walker agents, double radius, flood_config 
 /// reproduces that order exactly — lanes are ascending contiguous k-ranges,
 /// each lane records its first sighting of an agent, and the lane-order
 /// merge keeps the globally first one.
-void flooding_sim::scan_transmitters(std::size_t informed_before,
+void flooding_sim::scan_transmitters(message_state& msg, std::size_t informed_before,
                                      const std::uint8_t* transmit) {
     const auto positions = walker_.positions();
 
@@ -58,10 +110,10 @@ void flooding_sim::scan_transmitters(std::size_t informed_before,
             if (transmit != nullptr && transmit[k] == 0) {
                 continue;
             }
-            const std::uint32_t b = informed_list_[k];
+            const std::uint32_t b = msg.informed_list[k];
             grid_.for_each_in_radius(positions[b], radius_, [&](std::uint32_t a) {
-                if (informed_[a] == 0) {
-                    informed_[a] = 2;  // mark "newly informed" so we don't re-add
+                if (msg.informed[a] == 0) {
+                    msg.informed[a] = 2;  // mark "newly informed" so we don't re-add
                     newly_.push_back(a);
                 }
             });
@@ -73,6 +125,12 @@ void flooding_sim::scan_transmitters(std::size_t informed_before,
     const std::size_t n = walker_.size();
     lane_newly_.resize(lanes);
     lane_seen_.resize(lanes);
+    // Pre-clear every lane buffer: run() skips empty ranges, and a lane
+    // that was non-empty in an earlier (larger-count) scan of another
+    // message would otherwise leak its stale candidates into the merge.
+    for (auto& out : lane_newly_) {
+        out.clear();
+    }
     if (++scan_epoch_ == 0) {  // stamp wrap-around: invalidate stale stamps
         for (auto& seen : lane_seen_) {
             std::fill(seen.begin(), seen.end(), 0);
@@ -81,21 +139,20 @@ void flooding_sim::scan_transmitters(std::size_t informed_before,
     }
     const std::uint32_t epoch = scan_epoch_;
 
-    // Parallel phase: read-only on informed_ / grid / positions; every lane
-    // writes only its own buffers. Cross-lane duplicates are possible and
-    // resolved by the ordered merge below.
+    // Parallel phase: read-only on the message's informed state, the grid
+    // and positions; every lane writes only its own buffers. Cross-lane
+    // duplicates are possible and resolved by the ordered merge below.
     exec_->run(informed_before, [&](std::size_t lane, std::size_t begin, std::size_t end) {
         auto& out = lane_newly_[lane];
-        out.clear();
         auto& seen = lane_seen_[lane];
         seen.resize(n, 0);
         for (std::size_t k = begin; k < end; ++k) {
             if (transmit != nullptr && transmit[k] == 0) {
                 continue;
             }
-            const std::uint32_t b = informed_list_[k];
+            const std::uint32_t b = msg.informed_list[k];
             grid_.for_each_in_radius(positions[b], radius_, [&](std::uint32_t a) {
-                if (informed_[a] == 0 && seen[a] != epoch) {
+                if (msg.informed[a] == 0 && seen[a] != epoch) {
                     seen[a] = epoch;
                     out.push_back(a);
                 }
@@ -105,8 +162,8 @@ void flooding_sim::scan_transmitters(std::size_t informed_before,
 
     for (const auto& out : lane_newly_) {
         for (const std::uint32_t a : out) {
-            if (informed_[a] == 0) {
-                informed_[a] = 2;
+            if (msg.informed[a] == 0) {
+                msg.informed[a] = 2;
                 newly_.push_back(a);
             }
         }
@@ -117,19 +174,19 @@ void flooding_sim::scan_transmitters(std::size_t informed_before,
 /// for an already-informed neighbour. Each agent is appended by its own
 /// iteration only, so lane buffers concatenate to the ascending-id serial
 /// order with no dedup needed.
-void flooding_sim::scan_uninformed() {
+void flooding_sim::scan_uninformed(message_state& msg) {
     const auto positions = walker_.positions();
     const std::size_t n = walker_.size();
 
     if (exec_ == nullptr) {
         for (std::uint32_t a = 0; a < n; ++a) {
-            if (informed_[a] != 0) {
+            if (msg.informed[a] != 0) {
                 continue;
             }
             const bool hit = grid_.any_in_radius(
-                positions[a], radius_, [&](std::uint32_t b) { return informed_[b] == 1; });
+                positions[a], radius_, [&](std::uint32_t b) { return msg.informed[b] == 1; });
             if (hit) {
-                informed_[a] = 2;
+                msg.informed[a] = 2;
                 newly_.push_back(a);
             }
         }
@@ -138,15 +195,17 @@ void flooding_sim::scan_uninformed() {
 
     const std::size_t lanes = exec_->lanes();
     lane_newly_.resize(lanes);
+    for (auto& out : lane_newly_) {
+        out.clear();  // run() skips empty ranges; drop stale lane content
+    }
     exec_->run(n, [&](std::size_t lane, std::size_t begin, std::size_t end) {
         auto& out = lane_newly_[lane];
-        out.clear();
         for (std::size_t a = begin; a < end; ++a) {
-            if (informed_[a] != 0) {
+            if (msg.informed[a] != 0) {
                 continue;
             }
             const bool hit = grid_.any_in_radius(
-                positions[a], radius_, [&](std::uint32_t b) { return informed_[b] == 1; });
+                positions[a], radius_, [&](std::uint32_t b) { return msg.informed[b] == 1; });
             if (hit) {
                 out.push_back(static_cast<std::uint32_t>(a));
             }
@@ -154,25 +213,31 @@ void flooding_sim::scan_uninformed() {
     });
     for (const auto& out : lane_newly_) {
         for (const std::uint32_t a : out) {
-            informed_[a] = 2;
+            msg.informed[a] = 2;
             newly_.push_back(a);
         }
     }
 }
 
-void flooding_sim::propagate_one_hop() {
+void flooding_sim::propagate_one_hop(message_state& msg) {
     const std::size_t n = walker_.size();
-    const std::size_t informed_before = informed_list_.size();
-    if (informed_before <= n - informed_count_) {
+    const std::size_t informed_before = msg.informed_list.size();
+    if (informed_before <= n - msg.informed_count) {
         // Few informed: scan each informed agent's neighbourhood.
-        scan_transmitters(informed_before, nullptr);
+        scan_transmitters(msg, informed_before, nullptr);
     } else {
         // Few uninformed: probe each for an already-informed neighbour.
-        scan_uninformed();
+        scan_uninformed(msg);
     }
 }
 
-void flooding_sim::propagate_per_component() {
+/// Build the step's proximity components once; every per_component message
+/// of this step shares them (connectivity does not depend on which message
+/// asks). The expensive neighbourhood scans fan over lanes into per-lane
+/// edge lists; the near-linear unites stay serial. Connectivity (and hence
+/// each message's newly set) is independent of the unite order, so results
+/// match the serial path exactly.
+void flooding_sim::build_components() {
     const auto positions = walker_.positions();
     const std::size_t n = walker_.size();
     dsu_.reset(n);
@@ -186,15 +251,13 @@ void flooding_sim::propagate_per_component() {
             });
         }
     } else {
-        // The expensive part — the neighbourhood scans — fans over lanes
-        // into per-lane edge lists; the near-linear unites stay serial.
-        // Connectivity (and hence the newly set) is independent of the
-        // unite order, so results match the serial path exactly.
         const std::size_t lanes = exec_->lanes();
         lane_edges_.resize(lanes);
+        for (auto& edges : lane_edges_) {
+            edges.clear();  // run() skips empty ranges; drop stale lane content
+        }
         exec_->run(n, [&](std::size_t lane, std::size_t begin, std::size_t end) {
             auto& edges = lane_edges_[lane];
-            edges.clear();
             for (std::size_t i = begin; i < end; ++i) {
                 const auto a = static_cast<std::uint32_t>(i);
                 grid_.for_each_in_radius(positions[i], radius_, [&](std::uint32_t j) {
@@ -210,67 +273,142 @@ void flooding_sim::propagate_per_component() {
             }
         }
     }
+    dsu_ready_ = true;
+}
 
+void flooding_sim::propagate_per_component(message_state& msg) {
+    if (!dsu_ready_) {
+        build_components();
+    }
+    const std::size_t n = walker_.size();
     root_informed_.assign(n, 0);
-    for (const std::uint32_t b : informed_list_) {
+    for (const std::uint32_t b : msg.informed_list) {
         root_informed_[dsu_.find(b)] = 1;
     }
     for (std::uint32_t a = 0; a < n; ++a) {
-        if (informed_[a] == 0 && root_informed_[dsu_.find(a)] != 0) {
-            informed_[a] = 2;
+        if (msg.informed[a] == 0 && root_informed_[dsu_.find(a)] != 0) {
+            msg.informed[a] = 2;
             newly_.push_back(a);
         }
     }
 }
 
-void flooding_sim::propagate_gossip() {
+void flooding_sim::propagate_gossip(message_state& msg) {
     // Like one_hop, but each informed agent only transmits with probability
     // gossip_p. The coin is drawn for *every* informed agent every step, in
     // informing order, so the coin stream (and thus the run) depends only on
-    // (gossip_seed, informing history) — not on neighbourhood structure or
-    // thread count. Coins are drawn up front (serially) and the scans then
-    // share the one_hop machinery.
-    const std::size_t informed_before = informed_list_.size();
-    transmit_.resize(informed_before);
+    // (gossip_seed, informing history) — not on neighbourhood structure,
+    // thread count, or any other message. Coins are drawn up front
+    // (serially) and the scans then share the one_hop machinery.
+    const std::size_t informed_before = msg.informed_list.size();
+    msg.transmit.resize(informed_before);
     for (std::size_t k = 0; k < informed_before; ++k) {
-        transmit_[k] = gossip_gen_.bernoulli(cfg_.gossip_p) ? 1 : 0;
+        msg.transmit[k] = msg.gossip_gen.bernoulli(msg.spec.gossip_p) ? 1 : 0;
     }
-    scan_transmitters(informed_before, transmit_.data());
+    scan_transmitters(msg, informed_before, msg.transmit.data());
 }
 
-void flooding_sim::commit() {
+void flooding_sim::propagate(message_state& msg) {
+    switch (msg.spec.mode) {
+        case propagation::one_hop:
+            propagate_one_hop(msg);
+            break;
+        case propagation::per_component:
+            propagate_per_component(msg);
+            break;
+        case propagation::gossip:
+            propagate_gossip(msg);
+            break;
+    }
+}
+
+void flooding_sim::commit(message_state& msg) {
     const auto positions = walker_.positions();
     for (const std::uint32_t a : newly_) {
-        informed_[a] = 1;
-        informed_at_[a] = static_cast<std::uint32_t>(step_count_);
-        informed_list_.push_back(a);
+        msg.informed[a] = 1;
+        msg.informed_at[a] = static_cast<std::uint32_t>(step_count_);
+        msg.informed_list.push_back(a);
         // Swap-remove from the uninformed set (order there is irrelevant:
         // only membership feeds the Central-Zone scan).
-        const std::uint32_t slot = uninformed_slot_[a];
-        const std::uint32_t last = uninformed_.back();
-        uninformed_[slot] = last;
-        uninformed_slot_[last] = slot;
-        uninformed_.pop_back();
+        const std::uint32_t slot = msg.uninformed_slot[a];
+        const std::uint32_t last = msg.uninformed.back();
+        msg.uninformed[slot] = last;
+        msg.uninformed_slot[last] = slot;
+        msg.uninformed.pop_back();
         if (cells_ != nullptr && cells_->zone_of_point(positions[a]) == zone::suburb) {
-            last_suburb_informed_step_ = step_count_;
+            msg.last_suburb_informed_step = step_count_;
         }
     }
-    informed_count_ += newly_.size();
+    if (!newly_.empty()) {
+        msg.last_informed_step = step_count_;
+    }
+    msg.informed_count += newly_.size();
 }
 
-void flooding_sim::update_zone_metrics() {
-    if (cells_ == nullptr || cz_informed_step_.has_value()) {
+void flooding_sim::update_zone_metrics(message_state& msg) {
+    if (cells_ == nullptr || msg.cz_informed_step.has_value()) {
         return;
     }
     // Only still-uninformed agents can block the Central Zone, so the scan
     // shrinks with the flood instead of rescanning all n agents every step.
     const auto positions = walker_.positions();
-    for (const std::uint32_t a : uninformed_) {
+    for (const std::uint32_t a : msg.uninformed) {
         if (cells_->zone_of_point(positions[a]) == zone::central) {
             return;  // an uninformed agent sits in a Central-Zone cell
         }
     }
-    cz_informed_step_ = step_count_;
+    msg.cz_informed_step = step_count_;
+}
+
+bool flooding_sim::stop_satisfied(const message_state& msg) const {
+    const std::size_t n = walker_.size();
+    switch (cfg_.spread.stop.how) {
+        case stop_rule::kind::all_informed:
+            return msg.spawned && msg.informed_count == n;
+        case stop_rule::kind::informed_fraction:
+            return msg.spawned && msg.informed_count >= stop_fraction_count_;
+        case stop_rule::kind::central_zone:
+            // Without a partition the Central Zone is unobservable; fall
+            // back to the all-informed criterion (documented in spread.h).
+            if (cells_ == nullptr) {
+                return msg.spawned && msg.informed_count == n;
+            }
+            return msg.spawned && msg.cz_informed_step.has_value();
+        case stop_rule::kind::step_budget:
+            return step_count_ >= cfg_.spread.stop.steps;
+    }
+    return false;
+}
+
+void flooding_sim::refresh_stop_satisfaction() {
+    for (message_state& msg : messages_) {
+        if (!msg.stop_satisfied_step.has_value() && stop_satisfied(msg)) {
+            msg.stop_satisfied_step = step_count_;
+        }
+    }
+}
+
+bool flooding_sim::all_stopped() const noexcept {
+    for (const message_state& msg : messages_) {
+        if (!msg.stop_satisfied_step.has_value()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool flooding_sim::all_informed() const noexcept {
+    for (const message_state& msg : messages_) {
+        if (!msg.spawned || msg.informed_count != walker_.size()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool flooding_sim::all_informed(std::size_t m) const {
+    const message_state& msg = messages_.at(m);
+    return msg.spawned && msg.informed_count == walker_.size();
 }
 
 std::size_t flooding_sim::step() {
@@ -282,40 +420,69 @@ std::size_t flooding_sim::step() {
         walker_.step();
         grid_.rebuild(walker_.positions());
     }
+    dsu_ready_ = false;
 
-    newly_.clear();
-    switch (cfg_.mode) {
-        case propagation::one_hop:
-            propagate_one_hop();
-            break;
-        case propagation::per_component:
-            propagate_per_component();
-            break;
-        case propagation::gossip:
-            propagate_gossip();
-            break;
+    // One kinematics pass above, then every live message transmits over the
+    // shared grid. Messages are independent overlays: order is fixed (spec
+    // order) and no message reads another's state, so the per-message
+    // outcomes — timeline included — equal k single-message runs on the
+    // same trace (a completed message's timeline stays frozen at its
+    // completion step, exactly where its standalone run would have ended).
+    const std::size_t n = walker_.size();
+    std::size_t total_newly = 0;
+    for (message_state& msg : messages_) {
+        const bool was_complete = msg.spawned && msg.informed_count == n;
+        if (msg.spawned && !was_complete) {
+            newly_.clear();
+            propagate(msg);
+            commit(msg);
+            update_zone_metrics(msg);
+            total_newly += newly_.size();
+        } else if (!msg.spawned && msg.spec.spawn_step == step_count_) {
+            spawn(msg);
+            total_newly += msg.informed_count;
+        }
+        if (cfg_.record_timeline && !was_complete) {
+            msg.timeline.push_back(msg.informed_count);  // 0 while unspawned
+        }
     }
-    commit();
-    update_zone_metrics();
-    if (cfg_.record_timeline) {
-        timeline_.push_back(informed_count_);
-    }
-    return newly_.size();
+    refresh_stop_satisfaction();
+    return total_newly;
 }
 
-flood_result flooding_sim::run() {
-    while (!all_informed() && step_count_ < cfg_.max_steps) {
-        (void)step();
+message_result flooding_sim::result_of(const message_state& msg) const {
+    message_result r;
+    r.completed = msg.spawned && msg.informed_count == walker_.size();
+    r.flooding_time = r.completed ? msg.last_informed_step : step_count_;
+    r.informed_count = msg.informed_count;
+    if (msg.spawned) {
+        r.informed_at = msg.informed_at;
+    } else {
+        r.informed_at.assign(walker_.size(), never_informed);
     }
-    flood_result r;
-    r.completed = all_informed();
-    r.flooding_time = step_count_;
-    r.informed_count = informed_count_;
-    r.informed_at = informed_at_;
-    r.timeline = std::move(timeline_);
-    r.central_zone_informed_step = cz_informed_step_;
-    r.last_suburb_informed_step = last_suburb_informed_step_;
+    r.timeline = msg.timeline;
+    r.sources = msg.sources;
+    r.spawn_step = msg.spec.spawn_step;
+    r.stop_satisfied_step = msg.stop_satisfied_step;
+    r.central_zone_informed_step = msg.cz_informed_step;
+    r.last_suburb_informed_step = msg.last_suburb_informed_step;
     return r;
 }
+
+spread_result flooding_sim::run_spread() {
+    while (!all_stopped() && step_count_ < cfg_.max_steps) {
+        (void)step();
+    }
+    spread_result result;
+    result.completed = all_stopped();
+    result.steps = step_count_;
+    result.messages.reserve(messages_.size());
+    for (const message_state& msg : messages_) {
+        result.messages.push_back(result_of(msg));
+    }
+    return result;
+}
+
+flood_result flooding_sim::run() { return to_flood_result(run_spread(), 0); }
 
 }  // namespace manhattan::core

@@ -1,32 +1,34 @@
 /// \file flooding.h
-/// The flooding protocol of Section 4: every informed agent transmits at each
-/// discrete time step; an uninformed agent within Euclidean distance R of an
-/// (already) informed agent becomes informed and transmits from the next step
-/// on. The flooding time is the first step at which all n agents are informed.
+/// The spread-process simulation. The paper's protocol (Section 4) is the
+/// one-message special case: every informed agent transmits at each discrete
+/// time step; an uninformed agent within Euclidean distance R of an informed
+/// agent becomes informed and transmits from the next step on. The flooding
+/// time is the first step at which all n agents are informed.
+///
+/// The simulation is multi-message: a spread_spec (core/spread.h) injects
+/// any number of messages, each with its own source set, spawn step,
+/// propagation mode and gossip probability. All messages share one mobility
+/// advance and one spatial-index rebuild per step — a k-message run costs
+/// one kinematics pass, not k.
 #pragma once
 
 #include <cstdint>
-#include <limits>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/cell_partition.h"
+#include "core/spread.h"
 #include "geom/uniform_grid.h"
 #include "graph/union_find.h"
 #include "mobility/walker.h"
+#include "rng/rng.h"
 #include "util/parallel.h"
 
 namespace manhattan::core {
 
-/// How information spreads within one time step.
-enum class propagation : std::uint8_t {
-    one_hop,        ///< the paper's protocol: one transmission hop per step
-    per_component,  ///< ablation: a whole connected component floods per step
-    gossip,         ///< each informed agent forwards with probability gossip_p
-};
-
-/// Flooding run configuration.
+/// Single-message flooding run configuration (the pre-spread API, kept as a
+/// thin view: it converts into a one-message spread_config).
 struct flood_config {
     propagation mode = propagation::one_hop;
     std::size_t source = 0;              ///< initially informed agent
@@ -34,45 +36,35 @@ struct flood_config {
     bool record_timeline = true;         ///< keep per-step informed counts
     double gossip_p = 1.0;               ///< forward probability (gossip mode)
     std::uint64_t gossip_seed = 1;       ///< seed of the gossip coin stream
+
+    /// The equivalent one-message spread workload.
+    [[nodiscard]] spread_config to_spread_config() const;
 };
 
-/// Sentinel for "never informed" in flood_result::informed_at.
-inline constexpr std::uint32_t never_informed = std::numeric_limits<std::uint32_t>::max();
-
-/// Everything a flooding run produces (F.21 struct return).
-struct flood_result {
-    bool completed = false;           ///< all agents informed within max_steps
-    std::uint64_t flooding_time = 0;  ///< steps until the last agent was informed
-    std::size_t informed_count = 0;
-    std::vector<std::uint32_t> informed_at;  ///< per-agent informing step (source: 0)
-    std::vector<std::size_t> timeline;       ///< informed count after each step
-
-    /// First step at which every Central-Zone cell was informed, in the
-    /// paper's sense: no uninformed agent located in any CZ cell (empty cells
-    /// count as informed). Only tracked when a cell partition was supplied.
-    std::optional<std::uint64_t> central_zone_informed_step;
-
-    /// Step at which the last agent *located in the Suburb at informing
-    /// time* was informed (0 when partition absent or no such agent).
-    std::uint64_t last_suburb_informed_step = 0;
-};
-
-/// Discrete-time flooding simulation over a walker population.
+/// Discrete-time spread simulation over a walker population.
 ///
 /// The walker is owned (moved in). An optional cell_partition observer
 /// enables the Central-Zone / Suburb metrics; it must outlive the simulation.
 ///
 /// An optional parallel_executor (util/parallel.h, borrowed — must outlive
-/// the simulation) fans the three per-step phases (mobility advance, grid
+/// the simulation) fans the per-step phases (mobility advance, grid
 /// rebuild, neighbourhood scans) over its lanes. The executor never changes
-/// outcomes: every flood_result is bit-identical to the serial (null
+/// outcomes: every spread_result is bit-identical to the serial (null
 /// executor) run at any lane count, for every propagation mode — the same
 /// guarantee docs/ENGINE.md makes across replicas, here within one replica
-/// (see docs/PERF.md for the mechanism).
+/// (see docs/PERF.md for the mechanism). Per-message randomness (gossip
+/// coins, random-k source draws) comes from each message's own seeds, so
+/// messages never perturb each other's streams (docs/WORKLOADS.md).
 class flooding_sim {
  public:
-    /// Throws if source is out of range, radius is not positive, or (in
-    /// gossip mode) gossip_p is outside (0, 1].
+    /// Multi-message constructor. Throws if the spread has no messages, a
+    /// source spec is unsatisfiable, radius is not positive, a gossip-mode
+    /// message has gossip_p outside (0, 1], or the stop rule is invalid.
+    flooding_sim(mobility::walker agents, double radius, spread_config cfg,
+                 const cell_partition* cells = nullptr,
+                 util::parallel_executor* exec = nullptr);
+
+    /// Single-message compatibility constructor (wraps to_spread_config()).
     flooding_sim(mobility::walker agents, double radius, flood_config cfg = {},
                  const cell_partition* cells = nullptr,
                  util::parallel_executor* exec = nullptr);
@@ -81,61 +73,104 @@ class flooding_sim {
     /// next step(); never changes what the simulation computes.
     void set_executor(util::parallel_executor* exec) noexcept { exec_ = exec; }
 
-    /// Advance one time step (move + transmit). Returns newly informed count.
+    /// Advance one time step (move + transmit every live message). Returns
+    /// the newly informed count summed over all messages.
     std::size_t step();
 
-    /// Run until everyone is informed or cfg.max_steps is hit.
+    /// Run until every message satisfies the stop rule or cfg.max_steps is
+    /// hit; return per-message results.
+    [[nodiscard]] spread_result run_spread();
+
+    /// Run and return the single-message view of message 0 (the pre-spread
+    /// API; equivalent to to_flood_result(run_spread())).
     [[nodiscard]] flood_result run();
 
-    [[nodiscard]] bool all_informed() const noexcept {
-        return informed_count_ == walker_.size();
+    /// Every message spawned and fully informed.
+    [[nodiscard]] bool all_informed() const noexcept;
+    /// Message \p m spawned and fully informed.
+    [[nodiscard]] bool all_informed(std::size_t m) const;
+
+    [[nodiscard]] std::size_t num_messages() const noexcept { return messages_.size(); }
+    /// Informed count of message 0 / message \p m.
+    [[nodiscard]] std::size_t informed_count() const noexcept {
+        return messages_.front().informed_count;
     }
-    [[nodiscard]] std::size_t informed_count() const noexcept { return informed_count_; }
+    [[nodiscard]] std::size_t informed_count(std::size_t m) const {
+        return messages_.at(m).informed_count;
+    }
     [[nodiscard]] std::uint64_t steps_taken() const noexcept { return step_count_; }
-    [[nodiscard]] bool is_informed(std::size_t i) const { return informed_[i] != 0; }
+    /// Whether agent \p i holds message 0 / message \p m.
+    [[nodiscard]] bool is_informed(std::size_t i) const {
+        return !messages_.front().informed.empty() && messages_.front().informed[i] != 0;
+    }
+    [[nodiscard]] bool is_informed(std::size_t m, std::size_t i) const {
+        return !messages_.at(m).informed.empty() && messages_.at(m).informed[i] != 0;
+    }
     [[nodiscard]] const mobility::walker& agents() const noexcept { return walker_; }
     [[nodiscard]] double radius() const noexcept { return radius_; }
 
  private:
-    void propagate_one_hop();
-    void propagate_per_component();
-    void propagate_gossip();
-    void scan_transmitters(std::size_t informed_before, const std::uint8_t* transmit);
-    void scan_uninformed();
-    void commit();
-    void update_zone_metrics();
+    /// Per-message spread state. The informed bitmap, informing order and
+    /// uninformed-set bookkeeping are exactly the single-message engine's,
+    /// one copy per message; the grid/positions they scan are shared.
+    struct message_state {
+        message_spec spec;
+        bool spawned = false;
+        std::vector<std::uint8_t> informed;
+        std::vector<std::uint32_t> informed_at;
+        std::vector<std::uint32_t> informed_list;  ///< ids in informing order
+        std::size_t informed_count = 0;
+        std::vector<std::uint32_t> sources;  ///< resolved at spawn, ascending
+        std::vector<std::size_t> timeline;
+        std::optional<std::uint64_t> cz_informed_step;
+        std::uint64_t last_suburb_informed_step = 0;
+        std::optional<std::uint64_t> stop_satisfied_step;
+        std::uint64_t last_informed_step = 0;
+        rng::rng gossip_gen{1};
+        std::vector<std::uint8_t> transmit;  ///< gossip coins per informed slot
+
+        // Uninformed-set bookkeeping (incremental Central-Zone metric): the
+        // ids still uninformed, swap-removed in commit(), so
+        // update_zone_metrics() is O(#uninformed) instead of O(n) per step.
+        std::vector<std::uint32_t> uninformed;
+        std::vector<std::uint32_t> uninformed_slot;  ///< id -> index in uninformed
+    };
+
+    void spawn(message_state& msg);
+    void propagate(message_state& msg);
+    void propagate_one_hop(message_state& msg);
+    void propagate_per_component(message_state& msg);
+    void propagate_gossip(message_state& msg);
+    void scan_transmitters(message_state& msg, std::size_t informed_before,
+                           const std::uint8_t* transmit);
+    void scan_uninformed(message_state& msg);
+    void commit(message_state& msg);
+    void update_zone_metrics(message_state& msg);
+    void build_components();
+    void refresh_stop_satisfaction();
+    [[nodiscard]] bool stop_satisfied(const message_state& msg) const;
+    [[nodiscard]] bool all_stopped() const noexcept;
+    [[nodiscard]] message_result result_of(const message_state& msg) const;
 
     mobility::walker walker_;
     double radius_;
-    flood_config cfg_;
+    spread_config cfg_;
+    std::size_t stop_fraction_count_ = 0;  ///< resolved informed_fraction target
     const cell_partition* cells_;
     util::parallel_executor* exec_;
-    rng::rng gossip_gen_;
     geom::uniform_grid grid_;
-    std::vector<std::uint8_t> informed_;
-    std::vector<std::uint32_t> informed_at_;
-    std::vector<std::uint32_t> informed_list_;  ///< informed agent ids in informing order
-    std::size_t informed_count_ = 0;
+    std::vector<message_state> messages_;
     std::uint64_t step_count_ = 0;
-    std::vector<std::size_t> timeline_;
-    std::optional<std::uint64_t> cz_informed_step_;
-    std::uint64_t last_suburb_informed_step_ = 0;
+    bool dsu_ready_ = false;  ///< per-step: shared components already built
 
-    // Uninformed-set bookkeeping (incremental Central-Zone metric): the ids
-    // still uninformed, swap-removed in commit(), so update_zone_metrics()
-    // is O(#uninformed) instead of O(n) every step.
-    std::vector<std::uint32_t> uninformed_;
-    std::vector<std::uint32_t> uninformed_slot_;  ///< agent id -> index in uninformed_
-
-    // Per-step scratch, reused so the hot path never allocates in steady
-    // state. lane_* vectors are indexed by executor lane; the merge back
-    // into newly_ happens in lane order, which reproduces the serial
-    // discovery order exactly (see docs/PERF.md).
+    // Per-step scratch, shared by every message and reused so the hot path
+    // never allocates in steady state. lane_* vectors are indexed by
+    // executor lane; the merge back into newly_ happens in lane order, which
+    // reproduces the serial discovery order exactly (see docs/PERF.md).
     std::vector<std::uint32_t> newly_;
     std::vector<std::vector<std::uint32_t>> lane_newly_;
     std::vector<std::vector<std::uint32_t>> lane_seen_;  ///< per-lane epoch stamps
     std::uint32_t scan_epoch_ = 0;
-    std::vector<std::uint8_t> transmit_;  ///< gossip coins per informed-list slot
     std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> lane_edges_;
     graph::union_find dsu_{0};
     std::vector<std::uint8_t> root_informed_;

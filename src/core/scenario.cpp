@@ -7,40 +7,40 @@
 
 #include "engine/runner.h"
 #include "engine/thread_pool.h"
-#include "geom/vec2.h"
 #include "rng/splitmix64.h"
 
 namespace manhattan::core {
 
 namespace {
 
-std::size_t pick_source(const mobility::walker& agents, source_placement placement) {
-    const auto positions = agents.positions();
-    const double side = agents.model().side();
-    geom::vec2 target;
-    switch (placement) {
-        case source_placement::random_agent:
-            return 0;  // stationary samples are exchangeable
-        case source_placement::center_most:
-            target = {side / 2.0, side / 2.0};
-            break;
-        case source_placement::corner_most:
-            target = {0.0, 0.0};
-            break;
-    }
-    std::size_t best = 0;
-    double best_d = geom::dist2(positions[0], target);
-    for (std::size_t i = 1; i < positions.size(); ++i) {
-        const double d = geom::dist2(positions[i], target);
-        if (d < best_d) {
-            best_d = d;
-            best = i;
-        }
-    }
-    return best;
-}
+// Per-message seed derivation tags: message m of a scenario with seed s
+// draws its gossip coins from splitmix64(s ^ tag ^ m * kMessageStride) and
+// its random-k source sample from the same scheme with the source tag.
+// Message 0's gossip stream is exactly the pre-spread single-message stream
+// (m = 0 leaves the input untouched), and every stream is a pure function
+// of (s, m) — independent of thread counts and of the other messages
+// (docs/WORKLOADS.md). The stride (splitmix64's own golden-ratio constant)
+// spreads the small message index across all 64 bits before the XOR, so
+// hand-picked sequential seeds can't collide with message indices the way a
+// bare `s ^ m` would (seed 3 / message 0 vs seed 2 / message 1).
+constexpr std::uint64_t kGossipTag = 0x676f737369702121ULL;  // "gossip!!"
+constexpr std::uint64_t kSourceTag = 0x6d756c7469737263ULL;  // "multisrc"
+constexpr std::uint64_t kMessageStride = 0x9e3779b97f4a7c15ULL;
 
 }  // namespace
+
+spread_spec scenario::effective_spread() const {
+    if (!spread.messages.empty()) {
+        return spread;
+    }
+    spread_spec s = spread;  // keep the stop rule even in legacy mode
+    message_spec msg;
+    msg.sources = source_spec::at(source);
+    msg.mode = mode;
+    msg.gossip_p = gossip_p;
+    s.messages.push_back(std::move(msg));
+    return s;
+}
 
 scenario_outcome run_scenario(const scenario& sc) {
     sc.params.validate();
@@ -67,18 +67,18 @@ scenario_outcome run_scenario(const scenario& sc) {
         }
     }
 
-    flood_config cfg;
-    cfg.mode = sc.mode;
-    cfg.source = pick_source(agents, sc.source);
+    spread_config cfg;
     cfg.max_steps = sc.max_steps;
     cfg.record_timeline = sc.record_timeline;
-    cfg.gossip_p = sc.gossip_p;
-    // A distinct coin stream per scenario seed, decoupled from the walker's
-    // stream so the one_hop / per_component paths are unaffected.
-    cfg.gossip_seed = rng::splitmix64(sc.seed ^ 0x676f737369702121ULL)();
+    cfg.spread = sc.effective_spread();
+    for (std::size_t m = 0; m < cfg.spread.messages.size(); ++m) {
+        message_spec& msg = cfg.spread.messages[m];
+        const std::uint64_t mixed = static_cast<std::uint64_t>(m) * kMessageStride;
+        msg.gossip_seed = rng::splitmix64(sc.seed ^ kGossipTag ^ mixed)();
+        msg.source_seed = rng::splitmix64(sc.seed ^ kSourceTag ^ mixed)();
+    }
 
     scenario_outcome out;
-    out.source_agent = cfg.source;
     if (cells) {
         out.cell_side = cells->cell_side();
         out.suburb_diameter = cells->suburb_diameter();
@@ -95,8 +95,12 @@ scenario_outcome run_scenario(const scenario& sc) {
         exec = &pool->executor();
     }
 
-    flooding_sim sim(std::move(agents), sc.params.radius, cfg, cells.get(), exec);
-    out.flood = sim.run();
+    flooding_sim sim(std::move(agents), sc.params.radius, std::move(cfg), cells.get(), exec);
+    out.spread = sim.run_spread();
+    out.flood = to_flood_result(out.spread, 0);
+    if (!out.spread.messages.front().sources.empty()) {
+        out.source_agent = out.spread.messages.front().sources.front();
+    }
 
     out.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

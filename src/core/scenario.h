@@ -1,5 +1,5 @@
 /// \file scenario.h
-/// One-call experiment driver: build a model + walker + partition + flooding
+/// One-call experiment driver: build a model + walker + partition + spread
 /// simulation from a declarative description, run it, return the results.
 /// Every bench binary and example is a thin loop over run_scenario().
 #pragma once
@@ -14,14 +14,12 @@
 
 namespace manhattan::core {
 
-/// Where the initially informed agent sits.
-enum class source_placement : std::uint8_t {
-    random_agent,  ///< agent 0 of the stationary sample (exchangeable = uniform)
-    center_most,   ///< agent closest to the square's center (Central Zone start)
-    corner_most,   ///< agent closest to the SW corner (deep Suburb start)
-};
-
-/// Declarative description of one flooding experiment.
+/// Declarative description of one spread experiment. The default is the
+/// paper's workload — one message flooding from one source, described by the
+/// mode / gossip_p / source fields. Multi-message / multi-source workloads
+/// set `spread` instead; when `spread.messages` is non-empty it takes
+/// precedence and the three legacy fields are ignored (see
+/// effective_spread() and docs/WORKLOADS.md).
 struct scenario {
     net_params params;                  ///< n, L, R, v
     mobility::model_kind model = mobility::model_kind::mrwp;
@@ -29,6 +27,8 @@ struct scenario {
     propagation mode = propagation::one_hop;
     double gossip_p = 1.0;              ///< forward probability (gossip mode)
     source_placement source = source_placement::random_agent;
+    spread_spec spread;                 ///< multi-message workload (empty =
+                                        ///< one message from the fields above)
     std::uint64_t seed = 1;
     bool stationary_start = true;       ///< false: uniform positions + fresh trips
     double warmup_time = 0.0;           ///< extra mixing time before flooding starts
@@ -45,12 +45,20 @@ struct scenario {
     /// replica level already saturates the cores, and each replica would
     /// otherwise spawn its own inner pool.
     std::size_t intra_threads = 1;
+
+    /// The workload this scenario runs: `spread` verbatim when it has
+    /// messages, otherwise one message synthesised from mode / gossip_p /
+    /// source (the stop rule of `spread` applies either way). Message seeds
+    /// are placeholders here — run_scenario derives them from `seed` XOR the
+    /// message index (docs/WORKLOADS.md pins the scheme).
+    [[nodiscard]] spread_spec effective_spread() const;
 };
 
 /// Output of one scenario run.
 struct scenario_outcome {
-    flood_result flood;
-    std::size_t source_agent = 0;
+    flood_result flood;              ///< single-message view of message 0
+    spread_result spread;            ///< the full per-message results
+    std::size_t source_agent = 0;    ///< first resolved source of message 0
     double wall_seconds = 0.0;
     double cell_side = 0.0;          ///< 0 when no partition was built
     double suburb_diameter = 0.0;    ///< S; 0 when no partition was built

@@ -45,6 +45,31 @@ std::string csv_quote(const std::string& s) {
     return quoted;
 }
 
+/// Semicolon-joined number list for one CSV cell (comma would split the cell).
+std::string joined(const std::vector<double>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) {
+            out += ';';
+        }
+        out += num(values[i]);
+    }
+    return out;
+}
+
+/// JSON array of numbers.
+std::string json_array(const std::vector<double>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) {
+            out += ", ";
+        }
+        out += num(values[i]);
+    }
+    out += "]";
+    return out;
+}
+
 std::string json_quote(const std::string& s) {
     std::string out = "\"";
     for (const char c : s) {
@@ -63,7 +88,8 @@ void csv_sink::on_row(const sweep_row& row) {
     if (!header_written_) {
         out_ << "index,label,n,side,radius,speed,model,mode,gossip_p,reps,"
                 "mean,stddev,min,median,max,ci_lo,ci_hi,completed_fraction,"
-                "mean_cz_step,max_cz_step,cz_fraction,suburb_diameter,wall_seconds\n";
+                "mean_cz_step,max_cz_step,cz_fraction,suburb_diameter,wall_seconds,"
+                "messages,message_mean_times,message_completed_fraction\n";
         header_written_ = true;
     }
     const auto& sc = row.point.sc;
@@ -78,7 +104,9 @@ void csv_sink::on_row(const sweep_row& row) {
          << (row.mean_cz_step ? num(*row.mean_cz_step) : std::string{}) << ','
          << (row.max_cz_step ? num(*row.max_cz_step) : std::string{}) << ','
          << num(row.cz_fraction) << ','
-         << num(row.suburb_diameter) << ',' << num(row.wall_seconds) << '\n';
+         << num(row.suburb_diameter) << ',' << num(row.wall_seconds) << ','
+         << row.message_mean_times.size() << ',' << joined(row.message_mean_times) << ','
+         << joined(row.message_completed_fraction) << '\n';
     out_.flush();  // a killed multi-hour sweep keeps its completed rows
 }
 
@@ -91,7 +119,8 @@ void json_sink::on_row(const sweep_row& row) {
          << ", \"radius\": " << num(sc.params.radius) << ", \"speed\": " << num(sc.params.speed)
          << ", \"model\": " << json_quote(mobility::model_kind_name(sc.model))
          << ", \"mode\": " << json_quote(mode_name(sc.mode))
-         << ", \"gossip_p\": " << num(sc.gossip_p) << ", \"seed\": " << sc.seed << "},\n"
+         << ", \"gossip_p\": " << num(sc.gossip_p) << ", \"seed\": " << sc.seed
+         << ", \"messages\": " << row.message_mean_times.size() << "},\n"
          << "   \"summary\": {\"reps\": " << row.times.size()
          << ", \"mean\": " << num(row.summary.mean) << ", \"stddev\": " << num(row.summary.stddev)
          << ", \"min\": " << num(row.summary.min) << ", \"median\": " << num(row.summary.median)
@@ -102,7 +131,10 @@ void json_sink::on_row(const sweep_row& row) {
          << (row.mean_cz_step ? num(*row.mean_cz_step) : std::string{"null"})
          << ", \"max_cz_step\": "
          << (row.max_cz_step ? num(*row.max_cz_step) : std::string{"null"})
-         << ", \"cz_fraction\": " << num(row.cz_fraction) << "}";
+         << ", \"cz_fraction\": " << num(row.cz_fraction)
+         << ", \"message_mean_times\": " << json_array(row.message_mean_times)
+         << ", \"message_completed_fraction\": "
+         << json_array(row.message_completed_fraction) << "}";
     if (per_replica_times_) {
         out_ << ",\n   \"times\": [";
         for (std::size_t i = 0; i < row.times.size(); ++i) {

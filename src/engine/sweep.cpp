@@ -33,6 +33,13 @@ void sweep_axis(std::vector<core::scenario>& acc, const std::vector<T>& axis, Ap
     acc = std::move(next);
 }
 
+/// Source-set size of a message spec (placement / random_k count, or the
+/// explicit id list's length).
+std::size_t source_count(const core::message_spec& msg) {
+    return msg.sources.how == core::source_spec::kind::explicit_ids ? msg.sources.ids.size()
+                                                                    : msg.sources.count;
+}
+
 std::string point_label(const core::scenario& sc) {
     std::string label = "n=" + util::fmt(sc.params.n) + " R=" + util::fmt(sc.params.radius) +
                         " v=" + util::fmt(sc.params.speed);
@@ -43,6 +50,17 @@ std::string point_label(const core::scenario& sc) {
         label += " mode=per_component";
     } else if (sc.mode == core::propagation::gossip) {
         label += " gossip_p=" + util::fmt(sc.gossip_p);
+    }
+    // Spread-workload annotations, only when they deviate from the paper's
+    // one-message / one-source default (existing labels stay unchanged).
+    if (!sc.spread.messages.empty()) {
+        if (sc.spread.messages.size() > 1) {
+            label += " msgs=" + util::fmt(sc.spread.messages.size());
+        }
+        const std::size_t sources = source_count(sc.spread.messages.front());
+        if (sources > 1) {
+            label += " src=" + util::fmt(sources);
+        }
     }
     return label;
 }
@@ -59,6 +77,16 @@ std::vector<sweep_point> sweep_spec::expand() const {
     if (!speed.empty() && !speed_factor.empty()) {
         throw std::invalid_argument(
             "sweep_spec: speed and speed_factor axes are mutually exclusive");
+    }
+    for (const std::size_t k : num_sources) {
+        if (k == 0) {
+            throw std::invalid_argument("sweep_spec: num_sources values must be positive");
+        }
+    }
+    for (const std::size_t m : num_messages) {
+        if (m == 0) {
+            throw std::invalid_argument("sweep_spec: num_messages values must be positive");
+        }
     }
 
     std::vector<core::scenario> grid{base};
@@ -80,17 +108,50 @@ std::vector<sweep_point> sweep_spec::expand() const {
     });
     sweep_axis(grid, model,
                [](core::scenario& sc, mobility::model_kind value) { sc.model = value; });
-    sweep_axis(grid, mode,
-               [](core::scenario& sc, core::propagation value) { sc.mode = value; });
+    // mode / gossip_p write through into an already-materialised spread
+    // workload (e.g. one a --source= flag or an earlier expansion built), so
+    // axis order never silently drops a setting.
+    sweep_axis(grid, mode, [](core::scenario& sc, core::propagation value) {
+        sc.mode = value;
+        for (auto& msg : sc.spread.messages) {
+            msg.mode = value;
+        }
+    });
     sweep_axis(grid, gossip_p, [](core::scenario& sc, double value) {
         sc.gossip_p = value;
         sc.mode = core::propagation::gossip;
+        for (auto& msg : sc.spread.messages) {
+            msg.gossip_p = value;
+            msg.mode = core::propagation::gossip;
+        }
+    });
+    sweep_axis(grid, num_sources, [](core::scenario& sc, std::size_t value) {
+        sc.spread = sc.effective_spread();
+        for (auto& msg : sc.spread.messages) {
+            if (msg.sources.how == core::source_spec::kind::explicit_ids) {
+                throw std::invalid_argument(
+                    "sweep_spec: num_sources axis cannot resize an explicit source id list");
+            }
+            msg.sources.count = value;
+        }
+    });
+    sweep_axis(grid, num_messages, [](core::scenario& sc, std::size_t value) {
+        sc.spread = sc.effective_spread();
+        const auto proto = sc.spread.messages;
+        sc.spread.messages.resize(value);
+        for (std::size_t i = proto.size(); i < value; ++i) {
+            sc.spread.messages[i] = proto[i % proto.size()];
+        }
     });
 
     std::vector<sweep_point> points;
     points.reserve(grid.size());
     for (std::size_t i = 0; i < grid.size(); ++i) {
         grid[i].params.validate();
+        grid[i].spread.stop.validate();
+        for (const auto& msg : grid[i].spread.messages) {
+            msg.sources.validate(grid[i].params.n);  // fail at expand, not mid-sweep
+        }
         points.push_back({grid[i], i, point_label(grid[i])});
     }
     return points;
@@ -107,6 +168,8 @@ struct replica_stat {
     std::optional<std::uint64_t> cz_step;
     double suburb_diameter = 0.0;
     double wall_seconds = 0.0;
+    std::vector<double> message_times;          ///< per-message flooding time
+    std::vector<std::uint8_t> message_completed;
 };
 
 }  // namespace
@@ -137,9 +200,20 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
                 core::scenario sc = points[p].sc;
                 sc.seed = seeds[p][r];
                 const auto out = core::run_scenario(sc);
-                replica_stats[p][r] = {static_cast<double>(out.flood.flooding_time),
-                               out.flood.completed, out.flood.central_zone_informed_step,
-                               out.suburb_diameter, out.wall_seconds};
+                replica_stat stat{static_cast<double>(out.flood.flooding_time),
+                                  out.flood.completed, out.flood.central_zone_informed_step,
+                                  out.suburb_diameter, out.wall_seconds,
+                                  {}, {}};
+                stat.message_times.reserve(out.spread.messages.size());
+                stat.message_completed.reserve(out.spread.messages.size());
+                for (const auto& msg : out.spread.messages) {
+                    // Same convention as the headline time: an incomplete
+                    // message contributes the steps the run took.
+                    stat.message_times.push_back(static_cast<double>(
+                        msg.completed ? msg.flooding_time : out.spread.steps));
+                    stat.message_completed.push_back(msg.completed ? 1 : 0);
+                }
+                replica_stats[p][r] = std::move(stat);
             }));
         }
     }
@@ -193,6 +267,19 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
         }
         row.cz_fraction = static_cast<double>(cz_count) / static_cast<double>(reps);
         row.suburb_diameter = replica_stats[p].front().suburb_diameter;
+        const std::size_t messages = replica_stats[p].front().message_times.size();
+        row.message_mean_times.assign(messages, 0.0);
+        row.message_completed_fraction.assign(messages, 0.0);
+        for (const auto& stat : replica_stats[p]) {
+            for (std::size_t m = 0; m < messages; ++m) {
+                row.message_mean_times[m] += stat.message_times[m];
+                row.message_completed_fraction[m] += stat.message_completed[m];
+            }
+        }
+        for (std::size_t m = 0; m < messages; ++m) {
+            row.message_mean_times[m] /= static_cast<double>(reps);
+            row.message_completed_fraction[m] /= static_cast<double>(reps);
+        }
         for (result_sink* sink : sinks) {
             sink->on_row(row);
         }

@@ -40,7 +40,13 @@ struct sweep_point {
 ///   - radius: sets R directly
 ///   - speed: sets v directly         (mutually exclusive with speed_factor)
 ///   - speed_factor: sets v = factor * paper::speed_bound(R)
-///   - model / mode / gossip_p: scenario-diversity axes
+///   - model / mode / gossip_p: scenario-diversity axes (mode and gossip_p
+///     write through into an already-materialised spread workload)
+///   - num_sources: materialises the spread workload and sets every
+///     message's source-set size (placement / random_k specs only; throws
+///     for explicit id lists)
+///   - num_messages: materialises the spread workload and resizes the
+///     message list, cycling through the existing messages when growing
 struct sweep_spec {
     core::scenario base;          ///< prototype: seed, source, max_steps, ...
     std::size_t repetitions = 3;  ///< replicas per grid point
@@ -54,19 +60,29 @@ struct sweep_spec {
     std::vector<mobility::model_kind> model;
     std::vector<core::propagation> mode;
     std::vector<double> gossip_p;
+    std::vector<std::size_t> num_sources;
+    std::vector<std::size_t> num_messages;
 
     /// Expand into the fully-resolved point list. Throws std::invalid_argument
-    /// on conflicting axes (c1 & radius, speed & speed_factor) or empty grids.
+    /// on conflicting axes (c1 & radius, speed & speed_factor), zero
+    /// num_sources / num_messages values, a num_sources axis over explicit
+    /// source id lists, or grid points whose parameters fail validation.
     [[nodiscard]] std::vector<sweep_point> expand() const;
 };
 
-/// Aggregated result of one grid point (F.21 struct return).
+/// Aggregated result of one grid point (F.21 struct return). The headline
+/// statistics (times, summary, mean_ci, completed_fraction) describe
+/// message 0 — identical to the whole workload for single-message sweeps;
+/// the message_* vectors carry one aggregate per message for multi-message
+/// workloads.
 struct sweep_row {
     sweep_point point;
     std::vector<double> times;              ///< per-replica flooding times, seed order
     stats::summary summary;                 ///< of `times`
     stats::interval mean_ci;                ///< 95% percentile-bootstrap CI of the mean
     double completed_fraction = 0.0;        ///< replicas that informed everyone
+    std::vector<double> message_mean_times;          ///< per-message mean flooding time
+    std::vector<double> message_completed_fraction;  ///< per-message completion rate
     std::optional<double> mean_cz_step;     ///< mean Central-Zone informing step
     std::optional<double> max_cz_step;      ///< worst Central-Zone informing step
     double cz_fraction = 0.0;               ///< replicas whose CZ filled (with partition)

@@ -251,6 +251,135 @@ TEST(sweep_test, conflicting_axes_throw) {
     EXPECT_THROW((void)spec3.expand(), std::invalid_argument);
 }
 
+TEST(sweep_test, invalid_grid_points_fail_at_expand) {
+    // A grid point with invalid parameters (n = 0 here) must fail in
+    // expand(), not half-way through a multi-hour sweep.
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.n = {1000, 0};
+    EXPECT_THROW((void)spec.expand(), std::invalid_argument);
+
+    // Same for a source set larger than the population.
+    engine::sweep_spec spec2;
+    spec2.base = small_scenario();
+    spec2.num_sources = {spec2.base.params.n + 1};
+    EXPECT_THROW((void)spec2.expand(), std::invalid_argument);
+}
+
+TEST(sweep_test, num_sources_and_num_messages_axes_validate) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.num_sources = {1, 0};
+    EXPECT_THROW((void)spec.expand(), std::invalid_argument);
+
+    engine::sweep_spec spec2;
+    spec2.base = small_scenario();
+    spec2.num_messages = {0};
+    EXPECT_THROW((void)spec2.expand(), std::invalid_argument);
+
+    // num_sources cannot resize an explicit id list.
+    engine::sweep_spec spec3;
+    spec3.base = small_scenario();
+    core::message_spec msg;
+    msg.sources = core::source_spec::agents({7});
+    spec3.base.spread.messages = {msg};
+    spec3.num_sources = {4};
+    EXPECT_THROW((void)spec3.expand(), std::invalid_argument);
+}
+
+TEST(sweep_test, num_sources_axis_materialises_the_spread_workload) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.base.source = core::source_placement::center_most;
+    spec.num_sources = {1, 4};
+    const auto points = spec.expand();
+    ASSERT_EQ(points.size(), 2u);
+    for (const auto& point : points) {
+        ASSERT_EQ(point.sc.spread.messages.size(), 1u);
+        const auto& sources = point.sc.spread.messages[0].sources;
+        EXPECT_EQ(sources.how, core::source_spec::kind::placement);
+        EXPECT_EQ(sources.placement, core::source_placement::center_most);
+    }
+    EXPECT_EQ(points[0].sc.spread.messages[0].sources.count, 1u);
+    EXPECT_EQ(points[1].sc.spread.messages[0].sources.count, 4u);
+}
+
+TEST(sweep_test, num_messages_axis_cycles_the_message_list) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    core::message_spec sw;
+    sw.sources = core::source_spec::at(core::source_placement::corner_most);
+    core::message_spec ne;
+    ne.sources = core::source_spec::at(core::source_placement::corner_ne);
+    spec.base.spread.messages = {sw, ne};
+    spec.num_messages = {1, 5};
+    const auto points = spec.expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].sc.spread.messages.size(), 1u);
+    EXPECT_EQ(points[0].sc.spread.messages[0].sources.placement,
+              core::source_placement::corner_most);
+    ASSERT_EQ(points[1].sc.spread.messages.size(), 5u);
+    // Growth cycles through the existing messages: SW, NE, SW, NE, SW.
+    const core::source_placement expected[] = {
+        core::source_placement::corner_most, core::source_placement::corner_ne,
+        core::source_placement::corner_most, core::source_placement::corner_ne,
+        core::source_placement::corner_most};
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(points[1].sc.spread.messages[i].sources.placement, expected[i]) << i;
+    }
+}
+
+TEST(sweep_test, mode_and_gossip_axes_write_through_materialised_spread) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.base.spread = spec.base.effective_spread();  // materialised upfront
+    spec.gossip_p = {0.4};
+    const auto points = spec.expand();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].sc.spread.messages[0].mode, core::propagation::gossip);
+    EXPECT_DOUBLE_EQ(points[0].sc.spread.messages[0].gossip_p, 0.4);
+}
+
+TEST(sweep_test, row_labels_format_all_axes) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.base.params = core::net_params::standard_case(2000, 5.0, 1.0);
+    const auto base_label = spec.expand()[0].label;
+    EXPECT_EQ(base_label.rfind("n=2000 R=5 v=1", 0), 0u);
+    EXPECT_EQ(base_label.find("msgs="), std::string::npos);
+    EXPECT_EQ(base_label.find("src="), std::string::npos);
+
+    spec.num_sources = {4};
+    spec.num_messages = {2};
+    const auto label = spec.expand()[0].label;
+    EXPECT_NE(label.find("msgs=2"), std::string::npos);
+    EXPECT_NE(label.find("src=4"), std::string::npos);
+
+    engine::sweep_spec gossip_spec;
+    gossip_spec.base = small_scenario();
+    gossip_spec.gossip_p = {0.25};
+    EXPECT_NE(gossip_spec.expand()[0].label.find("gossip_p=0.25"), std::string::npos);
+}
+
+TEST(sweep_test, multi_message_rows_carry_per_message_aggregates) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.repetitions = 2;
+    spec.num_messages = {2};
+    engine::memory_sink memory;
+    engine::result_sink* sinks[] = {&memory};
+    const auto result = engine::run_sweep(spec, {.threads = 2}, sinks);
+    ASSERT_EQ(result.rows.size(), 1u);
+    const auto& row = result.rows[0];
+    ASSERT_EQ(row.message_mean_times.size(), 2u);
+    ASSERT_EQ(row.message_completed_fraction.size(), 2u);
+    EXPECT_DOUBLE_EQ(row.message_completed_fraction[0], 1.0);
+    EXPECT_DOUBLE_EQ(row.message_completed_fraction[1], 1.0);
+    // Message 0's aggregate is the row's headline mean.
+    EXPECT_DOUBLE_EQ(row.message_mean_times[0], row.summary.mean);
+    EXPECT_GT(row.message_mean_times[1], 0.0);
+}
+
 TEST(sweep_test, gossip_axis_switches_mode_and_labels) {
     engine::sweep_spec spec;
     spec.base = small_scenario();
@@ -330,6 +459,28 @@ TEST(sink_test, json_sink_emits_rows_array_with_replica_times) {
     // Despite the double finish() the document is closed exactly once.
     EXPECT_EQ(text.substr(text.size() - 4), "\n]}\n");
     EXPECT_EQ(text.find("\n]}\n"), text.size() - 4);
+}
+
+TEST(sink_test, sinks_emit_per_message_aggregates) {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.repetitions = 2;
+    spec.num_messages = {2};
+    std::ostringstream csv;
+    std::ostringstream json;
+    engine::csv_sink csv_s(csv);
+    engine::json_sink json_s(json);
+    engine::result_sink* sinks[] = {&csv_s, &json_s};
+    (void)engine::run_sweep(spec, {.threads = 1}, sinks);
+    json_s.finish();
+    EXPECT_NE(csv.str().find("messages,message_mean_times,message_completed_fraction"),
+              std::string::npos);
+    // Two messages: the joined CSV cell holds exactly one semicolon.
+    const std::string line = csv.str().substr(csv.str().find('\n') + 1);
+    EXPECT_NE(line.find(";"), std::string::npos);
+    EXPECT_NE(json.str().find("\"messages\": 2"), std::string::npos);
+    EXPECT_NE(json.str().find("\"message_mean_times\": ["), std::string::npos);
+    EXPECT_NE(json.str().find("\"message_completed_fraction\": ["), std::string::npos);
 }
 
 TEST(sink_test, json_sink_with_no_rows_is_valid) {
