@@ -7,7 +7,6 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <optional>
 #include <span>
@@ -237,8 +236,46 @@ void sharded_sample(engine::thread_pool& pool, std::size_t shards, std::uint64_t
     });
 }
 
+/// Checkpoint/restart knobs shared by every sweep binary (engine/manifest.h,
+/// docs/ENGINE.md): `--resume=PATH` arms checkpointing to PATH and resumes
+/// from it when the file exists; `--checkpoint-every=K` (default 1) spaces
+/// the ledger publishes; `--abort-after-replicas=K` is the CI resume smoke's
+/// crash injection (SIGKILL after K fresh replicas). Binaries that run
+/// several sweeps call next() once per run_sweep, in a fixed order — each
+/// sweep gets its own manifest (PATH, PATH.2, PATH.3, ...), so resuming a
+/// multi-sweep binary replays the earlier sweeps from their ledgers.
+class checkpointer {
+ public:
+    explicit checkpointer(const util::cli_args& args)
+        : path_(args.get_string("resume", "")),
+          every_(count_arg(args, "checkpoint-every", 1)),
+          abort_after_(count_arg(args, "abort-after-replicas", 0)) {}
+
+    /// Options for the next run_sweep call of this binary.
+    [[nodiscard]] engine::checkpoint_options next() {
+        engine::checkpoint_options opts;
+        ++sweep_;
+        if (!path_.empty()) {
+            opts.manifest_path =
+                sweep_ == 1 ? path_ : path_ + "." + std::to_string(sweep_);
+            opts.checkpoint_every = every_;
+            opts.abort_after = abort_after_;
+        }
+        return opts;
+    }
+
+ private:
+    std::string path_;
+    std::size_t every_;
+    std::size_t abort_after_;
+    std::size_t sweep_ = 0;
+};
+
 /// The sinks a sweep binary feeds: add your own (usually a memory_sink for
 /// verdict logic) and `--csv=FILE` / `--json=FILE` attach file sinks too.
+/// The file sinks are crash-safe engine::atomic_file_sinks: every row is
+/// published via write-temp + fsync + rename, so a killed sweep never leaves
+/// a half-written row (and the JSON on disk is always a closed document).
 /// One sink_set may feed several run_sweep calls (their rows append to the
 /// same files); the destructor finalises the file sinks.
 class sink_set {
@@ -247,27 +284,27 @@ class sink_set {
     /// (a sweep that silently drops its results is worse than no sweep).
     explicit sink_set(const util::cli_args& args) {
         if (args.has("csv")) {
-            const auto path = args.get_string("csv", "");
-            csv_stream_.open(path);
-            if (!csv_stream_) {
-                throw std::invalid_argument("sink_set: cannot open --csv file '" + path + "'");
-            }
-            csv_.emplace(csv_stream_);
+            csv_.emplace(args.get_string("csv", ""), engine::atomic_file_sink::format::csv);
             sinks_.push_back(&*csv_);
         }
         if (args.has("json")) {
-            const auto path = args.get_string("json", "");
-            json_stream_.open(path);
-            if (!json_stream_) {
-                throw std::invalid_argument("sink_set: cannot open --json file '" + path +
-                                            "'");
-            }
-            json_.emplace(json_stream_);
+            json_.emplace(args.get_string("json", ""),
+                          engine::atomic_file_sink::format::json);
             sinks_.push_back(&*json_);
         }
     }
 
-    ~sink_set() { finish(); }
+    /// The destructor must not throw (finish() publishes, and the atomic
+    /// file sinks raise on I/O failure — e.g. a disk that filled up); report
+    /// instead of std::terminate-ing, and keep any in-flight exception's
+    /// message intact.
+    ~sink_set() {
+        try {
+            finish();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "sink_set: final publish failed: %s\n", e.what());
+        }
+    }
 
     void add(engine::result_sink* sink) { sinks_.push_back(sink); }
 
@@ -292,10 +329,8 @@ class sink_set {
     }
 
  private:
-    std::ofstream csv_stream_;
-    std::ofstream json_stream_;
-    std::optional<engine::csv_sink> csv_;
-    std::optional<engine::json_sink> json_;
+    std::optional<engine::atomic_file_sink> csv_;
+    std::optional<engine::atomic_file_sink> json_;
     std::vector<engine::result_sink*> sinks_;
 };
 

@@ -52,8 +52,10 @@ int main(int argc, char** argv) {
     util::table t({"ablation", "variant", "mean T", "note"});
 
     // One sink_set spans both engine sweeps below, so --csv/--json capture
-    // the propagation AND gossip rows in a single file.
+    // the propagation AND gossip rows in a single file. --resume= gives each
+    // sweep its own manifest (PATH, PATH.2).
     bench::sink_set file_sinks(args);
+    bench::checkpointer ckpt(args);
 
     // (1) propagation semantics, as a mode-axis sweep.
     engine::sweep_spec prop_spec;
@@ -61,7 +63,7 @@ int main(int argc, char** argv) {
     prop_spec.repetitions = reps;
     prop_spec.mode = {core::propagation::one_hop, core::propagation::per_component};
     engine::memory_sink prop_rows;
-    (void)engine::run_sweep(prop_spec, opts, file_sinks.with(&prop_rows));
+    (void)engine::run_sweep(prop_spec, opts, file_sinks.with(&prop_rows), ckpt.next());
     const double one_hop = prop_rows.rows()[0].summary.mean;
     const double per_component = prop_rows.rows()[1].summary.mean;
     t.add_row({"propagation", "one hop (paper)", util::fmt(one_hop), "reference"});
@@ -119,7 +121,7 @@ int main(int argc, char** argv) {
     gossip_spec.repetitions = reps;
     gossip_spec.gossip_p = {1.0, 0.5, 0.25};
     engine::memory_sink gossip_rows;
-    (void)engine::run_sweep(gossip_spec, opts, file_sinks.with(&gossip_rows));
+    (void)engine::run_sweep(gossip_spec, opts, file_sinks.with(&gossip_rows), ckpt.next());
     for (const auto& row : gossip_rows.rows()) {
         const double p = row.point.sc.gossip_p;
         t.add_row({"gossip", "p = " + util::fmt(p), util::fmt(row.summary.mean),

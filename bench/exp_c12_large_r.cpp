@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
     bench::sink_set sinks(args);
     const auto opts = bench::engine_options(args);
+    bench::checkpointer ckpt(args);  // one manifest per n sweep
     const double factors[] = {0.45, 1.0, 1.3};
 
     util::table t({"n", "R / threshold", "R", "suburb cells", "max T", "18 L/R", "ok"});
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
         bench::apply_source(args, spec.base);  // --source= overrides the default
 
         engine::memory_sink memory;
-        (void)engine::run_sweep(spec, opts, sinks.with(&memory));
+        (void)engine::run_sweep(spec, opts, sinks.with(&memory), ckpt.next());
 
         for (const auto& row : memory.rows()) {
             const double radius = row.point.sc.params.radius;

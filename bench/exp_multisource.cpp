@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
     engine::memory_sink memory;
     bench::sink_set sinks(args);
     sinks.add(&memory);
-    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span());
+    bench::checkpointer ckpt(args);
+    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span(), ckpt.next());
 
     util::table t({"sources k", "mean T", "sd", "95% CI", "T(k)/T(1)", "done"});
     double t1 = 0.0;

@@ -4,7 +4,8 @@
 // grows 16x.
 //
 // The n-sweep is a declarative engine::sweep_spec fanned over all cores.
-// Knobs: --c1=3 --reps=3 --seed=1 --threads=0 --csv=FILE --json=FILE
+// Knobs: --n=LIST --c1=3 --reps=3 --seed=1 --threads=0 --csv=FILE --json=FILE
+//        --resume=MANIFEST --checkpoint-every=K (checkpoint/restart)
 #include <cstdio>
 #include <vector>
 
@@ -30,6 +31,17 @@ int main(int argc, char** argv) {
     spec.base.max_steps = 500'000;
     spec.repetitions = reps;
     spec.n = {4000, 8000, 16'000, 32'000, 64'000};
+    if (args.has("n")) {
+        // --n=LIST overrides the swept axis (smaller grids for smoke runs —
+        // the CI resume smoke kills and resumes this bench on a tiny grid).
+        spec.n.clear();
+        for (const long long value : bench::parse_list("n", args.get_string("n", ""))) {
+            if (value <= 0) {
+                throw std::invalid_argument("--n: values must be positive");
+            }
+            spec.n.push_back(static_cast<std::size_t>(value));
+        }
+    }
     spec.c1 = {c1};
     spec.speed_factor = {1.0};
     bench::apply_source(args, spec.base);  // --source= overrides center_most
@@ -37,7 +49,8 @@ int main(int argc, char** argv) {
     engine::memory_sink memory;
     bench::sink_set sinks(args);
     sinks.add(&memory);
-    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span());
+    bench::checkpointer ckpt(args);
+    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span(), ckpt.next());
 
     util::table t({"n", "L", "R", "mean T", "sd", "L/R", "T / (L/R)"});
     std::vector<double> ns;

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     engine::memory_sink memory;
     bench::sink_set sinks(args);
     sinks.add(&memory);
-    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span());
+    bench::checkpointer ckpt(args);
+    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span(), ckpt.next());
 
     util::table t({"c1", "R", "v", "mean T", "sd", "L/R", "S/v", "18L/R + 30 S/v", "T ok"});
     std::vector<double> means;

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
     engine::memory_sink memory;
     bench::sink_set sinks(args);
     sinks.add(&memory);
-    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span());
+    bench::checkpointer ckpt(args);
+    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span(), ckpt.next());
 
     util::table t({"v", "mean T", "cz T", "suburb tail (T - czT)", "1/v"});
     std::vector<double> inv_v;

@@ -13,6 +13,7 @@
 // Knobs: --n=10000,31623,100000 --threads=1,4,0 --reps=3 --c1=1.0 --seed=1
 //        --max-steps=5000 --json=BENCH_flood.json
 //        --baseline=BENCH_flood.json --regress-tol=0.25
+//        --min-speedup=3 --min-speedup-cores=8
 //
 // --baseline= compares this run's per-step throughput against a previously
 // emitted BENCH_flood.json: a matched (n, engine, threads) row whose
@@ -20,6 +21,13 @@
 // binary. The comparison only *enforces* when the baseline was measured on
 // a host with the same hardware concurrency — a 1-core laptop must not fail
 // CI against an 8-core baseline (or vice versa); mismatches warn and pass.
+//
+// --min-speedup= arms the multicore scaling gate (ROADMAP's >= 3x target at
+// n = 1e5): the best pool speedup vs the 1-thread pool at the *largest*
+// measured n must reach the given factor. Like the baseline gate it only
+// enforces where the claim is testable — on hosts with at least
+// --min-speedup-cores (default 8) hardware threads; smaller hosts report
+// without failing.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -215,6 +223,11 @@ int main(int argc, char** argv) {
     bool identical = true;
     bool speedup_seen = false;
     double best_speedup = 0.0;
+    double best_speedup_largest_n = 0.0;
+    long long largest_n = 0;
+    for (const long long value : n_list) {
+        largest_n = std::max(largest_n, value);
+    }
     for (const long long n_signed : n_list) {
         const auto n = static_cast<std::size_t>(n_signed);
         std::vector<perf_row> group;
@@ -235,6 +248,10 @@ int main(int argc, char** argv) {
                 r.threads != 1) {
                 r.speedup_vs_1thread = r.steps_per_sec / *one_thread_rate;
                 best_speedup = std::max(best_speedup, r.speedup_vs_1thread);
+                if (n_signed == largest_n) {
+                    best_speedup_largest_n =
+                        std::max(best_speedup_largest_n, r.speedup_vs_1thread);
+                }
                 speedup_seen = true;
             }
             t.add_row({util::fmt(r.n), r.engine, util::fmt(r.threads),
@@ -269,6 +286,32 @@ int main(int argc, char** argv) {
         baseline_ok = check_baseline(parse_baseline(in), rows, tolerance);
     }
 
+    // Multicore scaling gate: only enforce where the claim is testable.
+    const double min_speedup = args.get_double("min-speedup", 0.0);
+    const std::size_t min_speedup_cores = bench::count_arg(args, "min-speedup-cores", 8);
+    bool speedup_ok = true;
+    if (min_speedup > 0.0) {
+        const bool enforce = engine::default_thread_count() >= min_speedup_cores;
+        if (!speedup_seen) {
+            // An armed gate with no 1-thread pool reference measures nothing:
+            // fail loudly on an enforcing host so --threads= drift cannot
+            // silently disarm the check (same rule as the baseline gate).
+            std::printf("multicore gate: no speedup measured — --threads= must include 1 "
+                        "and another value%s\n",
+                        enforce ? "  GATE DISARMED" : " (reporting-only host)");
+            speedup_ok = !enforce;
+        } else {
+            const bool reached = best_speedup_largest_n >= min_speedup;
+            std::printf("multicore gate: best speedup at n=%lld is %s (target %s, host has "
+                        "%zu/%zu required cores — %s)\n",
+                        largest_n, util::fmt(best_speedup_largest_n).c_str(),
+                        util::fmt(min_speedup).c_str(), engine::default_thread_count(),
+                        min_speedup_cores,
+                        enforce ? (reached ? "met" : "FAILED") : "reporting only");
+            speedup_ok = reached || !enforce;
+        }
+    }
+
     bench::verdict(identical,
                    "every engine variant reproduces the identical flooding time (the "
                    "intra-replica determinism contract)");
@@ -276,10 +319,14 @@ int main(int argc, char** argv) {
         bench::verdict(false, "per-step throughput within tolerance of the baseline "
                               "(--baseline= regression gate)");
     }
+    if (!speedup_ok) {
+        bench::verdict(false, "multicore speedup at the largest n reaches the "
+                              "--min-speedup= target");
+    }
     if (speedup_seen) {
         std::printf("best speedup vs 1 pool thread: %s (meaningful only on multi-core "
                     "hosts)\n",
                     util::fmt(best_speedup).c_str());
     }
-    return identical && baseline_ok ? 0 : 1;
+    return identical && baseline_ok && speedup_ok ? 0 : 1;
 }

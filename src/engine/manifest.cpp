@@ -1,0 +1,400 @@
+#include "engine/manifest.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "core/scenario.h"
+
+namespace manhattan::engine {
+
+namespace {
+
+/// splitmix64 finaliser as a hash-combine step: strong bit diffusion, and a
+/// pure function of the fed words — the fingerprint is stable across runs,
+/// hosts and thread counts.
+std::uint64_t mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+class fingerprint_hasher {
+ public:
+    void u64(std::uint64_t v) { state_ = mix(state_ ^ v); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { u64(v ? 1 : 0); }
+    [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+    std::uint64_t state_ = 0x6d616e6966657374ULL;  // "manifest"
+};
+
+void hash_source_spec(fingerprint_hasher& h, const core::source_spec& spec) {
+    h.u64(static_cast<std::uint64_t>(spec.how));
+    h.u64(static_cast<std::uint64_t>(spec.placement));
+    h.u64(spec.count);
+    h.u64(spec.ids.size());
+    for (const std::size_t id : spec.ids) {
+        h.u64(id);
+    }
+}
+
+/// Every output-affecting scenario field. intra_threads is excluded by
+/// contract (wall-clock-only knob; resuming at another thread count is
+/// legal) — keep this in sync with the header comment and docs/ENGINE.md.
+void hash_scenario(fingerprint_hasher& h, const core::scenario& sc) {
+    h.u64(sc.params.n);
+    h.f64(sc.params.side);
+    h.f64(sc.params.radius);
+    h.f64(sc.params.speed);
+    h.u64(static_cast<std::uint64_t>(sc.model));
+    h.f64(sc.model_opts.walk_step_radius);
+    h.f64(sc.model_opts.direction_max_leg);
+    h.u64(static_cast<std::uint64_t>(sc.mode));
+    h.f64(sc.gossip_p);
+    h.u64(static_cast<std::uint64_t>(sc.source));
+    h.u64(sc.seed);
+    h.boolean(sc.stationary_start);
+    h.f64(sc.warmup_time);
+    h.u64(sc.max_steps);
+    h.boolean(sc.record_timeline);
+    h.boolean(sc.with_cell_partition);
+    h.u64(static_cast<std::uint64_t>(sc.spread.stop.how));
+    h.f64(sc.spread.stop.fraction);
+    h.u64(sc.spread.stop.steps);
+    h.u64(sc.spread.messages.size());
+    for (const auto& msg : sc.spread.messages) {
+        hash_source_spec(h, msg.sources);
+        h.u64(msg.spawn_step);
+        h.u64(static_cast<std::uint64_t>(msg.mode));
+        h.f64(msg.gossip_p);
+        h.u64(msg.gossip_seed);
+        h.u64(msg.source_seed);
+    }
+}
+
+std::string hex64(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+    return {buf};
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+    throw manifest_error("manifest: " + what);
+}
+
+/// Next whitespace token of \p line; throws on exhaustion.
+std::string next_token(std::istringstream& line, const std::string& what) {
+    std::string token;
+    if (!(line >> token)) {
+        corrupt("truncated record: missing " + what);
+    }
+    return token;
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& what, int base = 10) {
+    try {
+        std::size_t used = 0;
+        const std::uint64_t value = std::stoull(token, &used, base);
+        if (used != token.size()) {
+            corrupt("malformed " + what + " '" + token + "'");
+        }
+        return value;
+    } catch (const manifest_error&) {
+        throw;
+    } catch (const std::exception&) {
+        corrupt("malformed " + what + " '" + token + "'");
+    }
+}
+
+double parse_f64_bits(const std::string& token, const std::string& what) {
+    return std::bit_cast<double>(parse_u64(token, what, 16));
+}
+
+}  // namespace
+
+std::vector<std::vector<const replica_record*>> run_manifest::by_point() const {
+    std::vector<std::vector<const replica_record*>> table(
+        points, std::vector<const replica_record*>(repetitions, nullptr));
+    for (const auto& rec : records) {
+        if (rec.point >= points || rec.replica >= repetitions) {
+            corrupt("record (" + std::to_string(rec.point) + ", " +
+                    std::to_string(rec.replica) + ") outside the " + std::to_string(points) +
+                    " x " + std::to_string(repetitions) + " grid");
+        }
+        if (table[rec.point][rec.replica] != nullptr) {
+            corrupt("duplicate record for point " + std::to_string(rec.point) + " replica " +
+                    std::to_string(rec.replica));
+        }
+        table[rec.point][rec.replica] = &rec;
+    }
+    return table;
+}
+
+bool run_manifest::complete() const {
+    return records.size() == points * repetitions && !by_point().empty();
+}
+
+std::uint64_t sweep_fingerprint(std::span<const sweep_point> points,
+                                std::size_t repetitions) {
+    fingerprint_hasher h;
+    h.u64(run_manifest::format_version);
+    h.u64(engine_output_version);
+    h.u64(repetitions);
+    h.u64(points.size());
+    for (const auto& point : points) {
+        hash_scenario(h, point.sc);
+    }
+    return h.value();
+}
+
+std::uint64_t sweep_fingerprint(const sweep_spec& spec) {
+    return sweep_fingerprint(spec.expand(), spec.repetitions);
+}
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) {
+        throw std::runtime_error("cannot open '" + tmp + "' for writing");
+    }
+    const bool wrote = contents.empty() ||
+                       std::fwrite(contents.data(), 1, contents.size(), file) ==
+                           contents.size();
+    const bool flushed = std::fflush(file) == 0;
+    // fsync before rename: the rename must never publish a file whose bytes
+    // are still in the page cache only.
+    const bool synced = ::fsync(::fileno(file)) == 0;
+    std::fclose(file);
+    if (!(wrote && flushed && synced)) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("write failed for '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename '" + tmp + "' to '" + path + "'");
+    }
+    // Best-effort directory sync so the rename itself survives a power cut.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd >= 0) {
+        ::fsync(dir_fd);
+        ::close(dir_fd);
+    }
+}
+
+std::string serialize_manifest(const run_manifest& manifest) {
+    std::string out = "manhattan-manifest v" + std::to_string(run_manifest::format_version) +
+                      "\nfingerprint " + hex64(manifest.fingerprint) + "\npoints " +
+                      std::to_string(manifest.points) + "\nrepetitions " +
+                      std::to_string(manifest.repetitions) + "\n";
+    for (const auto& rec : manifest.records) {
+        out += "record " + std::to_string(rec.point) + ' ' + std::to_string(rec.replica) +
+               ' ' + hex64(std::bit_cast<std::uint64_t>(rec.stat.time)) + ' ' +
+               (rec.stat.completed ? '1' : '0') + ' ' +
+               (rec.stat.cz_step ? std::to_string(*rec.stat.cz_step) : std::string{"-"}) +
+               ' ' + hex64(std::bit_cast<std::uint64_t>(rec.stat.suburb_diameter)) + ' ' +
+               hex64(std::bit_cast<std::uint64_t>(rec.stat.wall_seconds)) + ' ' +
+               std::to_string(rec.stat.message_times.size());
+        for (const double t : rec.stat.message_times) {
+            out += ' ' + hex64(std::bit_cast<std::uint64_t>(t));
+        }
+        for (const std::uint8_t c : rec.stat.message_completed) {
+            out += c != 0 ? " 1" : " 0";
+        }
+        out += '\n';
+    }
+    // Trailing count line: a truncated file (lost records, cut mid-line)
+    // can never parse as a valid manifest.
+    out += "end " + std::to_string(manifest.records.size()) + "\n";
+    return out;
+}
+
+run_manifest parse_manifest(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+
+    const auto expect_line = [&](const std::string& what) {
+        if (!std::getline(in, line)) {
+            corrupt("truncated file: missing " + what);
+        }
+        return std::istringstream{line};
+    };
+    const auto keyed_value = [&](const std::string& key) {
+        auto fields = expect_line(key + " line");
+        if (next_token(fields, "key") != key) {
+            corrupt("expected '" + key + "' line, got '" + line + "'");
+        }
+        const std::string value = next_token(fields, key);
+        std::string extra;
+        if (fields >> extra) {
+            corrupt("trailing tokens on '" + key + "' line");
+        }
+        return value;
+    };
+
+    std::string version = "v";  // split concat: GCC 12 -Wrestrict false positive
+    version += std::to_string(run_manifest::format_version);
+    if (keyed_value("manhattan-manifest") != version) {
+        corrupt("unsupported format '" + line + "'");
+    }
+    run_manifest manifest;
+    manifest.fingerprint = parse_u64(keyed_value("fingerprint"), "fingerprint", 16);
+    manifest.points = parse_u64(keyed_value("points"), "points");
+    manifest.repetitions = parse_u64(keyed_value("repetitions"), "repetitions");
+
+    bool ended = false;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        const std::string kind = next_token(fields, "record tag");
+        if (kind == "end") {
+            const std::uint64_t count = parse_u64(next_token(fields, "record count"),
+                                                  "record count");
+            if (count != manifest.records.size()) {
+                corrupt("record count mismatch: end says " + std::to_string(count) +
+                        ", file holds " + std::to_string(manifest.records.size()));
+            }
+            ended = true;
+            std::string extra;
+            if (fields >> extra || std::getline(in, line)) {
+                corrupt("trailing content after 'end'");
+            }
+            break;
+        }
+        if (kind != "record") {
+            corrupt("unknown line '" + line + "'");
+        }
+        replica_record rec;
+        rec.point = parse_u64(next_token(fields, "point"), "point");
+        rec.replica = parse_u64(next_token(fields, "replica"), "replica");
+        rec.stat.time = parse_f64_bits(next_token(fields, "time"), "time");
+        rec.stat.completed = parse_u64(next_token(fields, "completed"), "completed") != 0;
+        const std::string cz = next_token(fields, "cz_step");
+        if (cz != "-") {
+            rec.stat.cz_step = parse_u64(cz, "cz_step");
+        }
+        rec.stat.suburb_diameter =
+            parse_f64_bits(next_token(fields, "suburb_diameter"), "suburb_diameter");
+        rec.stat.wall_seconds =
+            parse_f64_bits(next_token(fields, "wall_seconds"), "wall_seconds");
+        const std::uint64_t messages = parse_u64(next_token(fields, "message count"),
+                                                 "message count");
+        for (std::uint64_t m = 0; m < messages; ++m) {
+            rec.stat.message_times.push_back(
+                parse_f64_bits(next_token(fields, "message time"), "message time"));
+        }
+        for (std::uint64_t m = 0; m < messages; ++m) {
+            rec.stat.message_completed.push_back(
+                parse_u64(next_token(fields, "message completed"), "message completed") != 0
+                    ? 1
+                    : 0);
+        }
+        std::string extra;
+        if (fields >> extra) {
+            corrupt("trailing tokens on record line '" + line + "'");
+        }
+        manifest.records.push_back(std::move(rec));
+    }
+    if (!ended) {
+        corrupt("truncated file: missing 'end' line");
+    }
+    (void)manifest.by_point();  // range/duplicate validation
+    return manifest;
+}
+
+void save_manifest(const run_manifest& manifest, const std::string& path) {
+    try {
+        atomic_write_file(path, serialize_manifest(manifest));
+    } catch (const std::runtime_error& e) {
+        throw manifest_error(std::string{"manifest: "} + e.what());
+    }
+}
+
+run_manifest load_manifest(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw manifest_error("manifest: cannot open '" + path + "'");
+    }
+    const std::string text{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    try {
+        return parse_manifest(text);
+    } catch (const manifest_error& e) {
+        throw manifest_error(std::string{e.what()} + " (file '" + path + "')");
+    }
+}
+
+checkpoint_ledger::checkpoint_ledger(run_manifest manifest, std::string path,
+                                     std::size_t checkpoint_every, std::size_t abort_after)
+    : manifest_(std::move(manifest)),
+      path_(std::move(path)),
+      checkpoint_every_(checkpoint_every == 0 ? 1 : checkpoint_every),
+      abort_after_(abort_after) {}
+
+void checkpoint_ledger::record(std::size_t point, std::size_t replica, replica_stat stat) {
+    std::string snapshot;
+    std::size_t generation = 0;
+    {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        manifest_.records.push_back({point, replica, std::move(stat)});
+        ++unsaved_;
+        ++fresh_;
+        if (abort_after_ != 0 && fresh_ >= abort_after_) {
+            // Crash injection for the CI resume smoke: publish while still
+            // holding the state lock (keeping the on-disk record count
+            // exactly abort_after — no concurrent record can slip in), then
+            // die exactly like an external `kill -9`: no stack unwinding,
+            // no sink finish(), no final flush.
+            publish(serialize_manifest(manifest_), manifest_.records.size());
+            (void)std::raise(SIGKILL);
+        }
+        if (unsaved_ >= checkpoint_every_) {
+            snapshot = serialize_manifest(manifest_);
+            generation = manifest_.records.size();
+            unsaved_ = 0;
+        }
+    }
+    if (!snapshot.empty()) {
+        publish(snapshot, generation);
+    }
+}
+
+void checkpoint_ledger::flush() {
+    std::string snapshot;
+    std::size_t generation = 0;
+    {
+        const std::lock_guard<std::mutex> lock(state_mutex_);
+        snapshot = serialize_manifest(manifest_);
+        generation = manifest_.records.size();
+        unsaved_ = 0;
+    }
+    publish(snapshot, generation);
+}
+
+void checkpoint_ledger::publish(const std::string& snapshot, std::size_t generation) {
+    const std::lock_guard<std::mutex> lock(io_mutex_);
+    // A concurrent thread may already have landed a snapshot with more
+    // records; never overwrite newer state with older. Equal generations
+    // republish (same content — lets flush() always force a write).
+    if (generation < published_generation_) {
+        return;
+    }
+    try {
+        atomic_write_file(path_, snapshot);
+    } catch (const std::runtime_error& e) {
+        throw manifest_error(std::string{"manifest: "} + e.what());
+    }
+    published_generation_ = generation;
+}
+
+}  // namespace manhattan::engine

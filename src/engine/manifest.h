@@ -1,0 +1,167 @@
+/// \file manifest.h
+/// Checkpoint/restart for long sweeps: the run manifest is a sweep-spec
+/// fingerprint plus a (grid point, replica) completion ledger, written
+/// atomically alongside the sink output. An interrupted run_sweep resumes by
+/// replaying recorded replicas and computing only the missing ones — with
+/// the splitmix64 replica sharding, the resumed run restarts each partially
+/// complete point at the exact replica boundary and its output is
+/// bit-identical to an uninterrupted run at any thread count (docs/ENGINE.md
+/// pins the contract).
+///
+/// Safety rules:
+///   - save_manifest publishes via write-temp + fsync + rename, so a crash
+///     at any instant leaves either the previous manifest or the new one on
+///     disk — never a half-written ledger.
+///   - A manifest whose fingerprint does not match the sweep it is resumed
+///     against (edited axes, different seed or repetitions, an engine whose
+///     output semantics changed) hard-fails with manifest_error rather than
+///     silently mixing rows from two different experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/sweep.h"
+
+namespace manhattan::engine {
+
+/// Raised on a truncated, corrupt or mismatched manifest (and on manifest
+/// I/O failures). The message names the file and what disagreed.
+class manifest_error : public std::runtime_error {
+ public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Bumped whenever the engine's per-replica output semantics change (row
+/// aggregation, seeding scheme, recorded fields): a manifest written by an
+/// incompatible binary must not resume, so this tag feeds the fingerprint.
+inline constexpr std::uint64_t engine_output_version = 1;
+
+/// The scalars one completed replica contributes to its sweep row — exactly
+/// what the sweep driver aggregates, so replaying a record reproduces the
+/// row bit-for-bit (wall_seconds included: a replayed row reports the wall
+/// time of the run that actually computed it).
+struct replica_stat {
+    double time = 0.0;                  ///< flooding time (steps)
+    bool completed = false;             ///< all agents informed
+    std::optional<std::uint64_t> cz_step;  ///< Central-Zone informing step
+    double suburb_diameter = 0.0;
+    double wall_seconds = 0.0;
+    std::vector<double> message_times;  ///< per-message flooding time
+    std::vector<std::uint8_t> message_completed;
+
+    friend bool operator==(const replica_stat&, const replica_stat&) = default;
+};
+
+/// One ledger entry: replica \p replica of grid point \p point completed
+/// with \p stat. Records are sparse (replicas finish out of order); the
+/// resume path skips exactly the recorded pairs.
+struct replica_record {
+    std::size_t point = 0;
+    std::size_t replica = 0;
+    replica_stat stat;
+
+    friend bool operator==(const replica_record&, const replica_record&) = default;
+};
+
+/// The on-disk checkpoint state of one run_sweep call.
+struct run_manifest {
+    static constexpr std::uint32_t format_version = 1;
+
+    std::uint64_t fingerprint = 0;  ///< sweep_fingerprint of the owning sweep
+    std::size_t points = 0;         ///< expanded grid size
+    std::size_t repetitions = 0;    ///< replicas per point
+    std::vector<replica_record> records;  ///< completion order, sparse
+
+    /// records indexed as table[point][replica] (nullptr = not completed).
+    /// Throws manifest_error on an out-of-range or duplicate record.
+    [[nodiscard]] std::vector<std::vector<const replica_record*>> by_point() const;
+
+    /// Every (point, replica) pair recorded?
+    [[nodiscard]] bool complete() const;
+
+    friend bool operator==(const run_manifest&, const run_manifest&) = default;
+};
+
+/// Fingerprint of a fully-expanded sweep: a hash over every output-affecting
+/// field of every grid point (parameters, model + options, propagation mode,
+/// seeds, spread workload, stop rule, ...) plus the replica count and
+/// engine_output_version. intra_threads is deliberately excluded — the
+/// determinism contract makes it (like --threads) a wall-clock-only knob, so
+/// resuming at a different thread count is legal.
+[[nodiscard]] std::uint64_t sweep_fingerprint(std::span<const sweep_point> points,
+                                              std::size_t repetitions);
+
+/// Convenience overload: expand the spec, then fingerprint it.
+[[nodiscard]] std::uint64_t sweep_fingerprint(const sweep_spec& spec);
+
+/// Publish \p contents to \p path atomically: write path.tmp, fsync, rename
+/// over path (then best-effort fsync the directory). A reader or a crash
+/// never observes a partial file. Throws std::runtime_error on I/O failure.
+void atomic_write_file(const std::string& path, const std::string& contents);
+
+/// Serialize / parse the manifest text format (see docs/ENGINE.md). Doubles
+/// are stored as IEEE-754 bit patterns, so a round trip is always exact.
+[[nodiscard]] std::string serialize_manifest(const run_manifest& manifest);
+[[nodiscard]] run_manifest parse_manifest(const std::string& text);
+
+/// Atomic save (see atomic_write_file). Throws manifest_error on failure.
+void save_manifest(const run_manifest& manifest, const std::string& path);
+
+/// Load and strictly validate a manifest file. Throws manifest_error on a
+/// missing, truncated or corrupt file (truncation is caught by the trailing
+/// record-count line that serialize_manifest always writes).
+[[nodiscard]] run_manifest load_manifest(const std::string& path);
+
+/// Thread-safe checkpoint writer for one run_sweep call: workers record()
+/// replicas as they complete, and every `checkpoint_every` fresh records the
+/// whole manifest is republished atomically. flush() forces a final publish
+/// (the driver calls it once the workers drained — also on the error path,
+/// so a failed sweep keeps its completed work).
+///
+/// The ledger state and the file I/O are guarded separately: a publishing
+/// thread serializes its snapshot under the state lock but writes (fsync is
+/// ms-scale) outside it, so other workers keep recording — and simulating —
+/// while a checkpoint lands on disk. A publish generation counter keeps an
+/// older snapshot from overwriting a newer one.
+class checkpoint_ledger {
+ public:
+    /// \p abort_after is crash injection for the CI resume smoke: after that
+    /// many fresh records have been published, the process raises SIGKILL —
+    /// no destructors, no sink finish, exactly like a mid-run kill (0 = off).
+    checkpoint_ledger(run_manifest manifest, std::string path,
+                      std::size_t checkpoint_every, std::size_t abort_after = 0);
+
+    /// Record one completed replica (any worker thread).
+    void record(std::size_t point, std::size_t replica, replica_stat stat);
+
+    /// Publish the current state unconditionally (driver thread).
+    void flush();
+
+    /// Driver-only (after workers drained): the accumulated manifest.
+    [[nodiscard]] const run_manifest& manifest() const noexcept { return manifest_; }
+
+ private:
+    /// Atomically write \p snapshot (serialized at generation \p generation,
+    /// i.e. with that many records) unless a newer snapshot already landed.
+    void publish(const std::string& snapshot, std::size_t generation);
+
+    std::mutex state_mutex_;
+    run_manifest manifest_;
+    std::string path_;
+    std::size_t checkpoint_every_;
+    std::size_t abort_after_;
+    std::size_t unsaved_ = 0;  ///< records since the last publish snapshot
+    std::size_t fresh_ = 0;    ///< records added this process (abort_after clock)
+
+    std::mutex io_mutex_;
+    std::size_t published_generation_ = 0;
+};
+
+}  // namespace manhattan::engine

@@ -31,6 +31,11 @@ struct run_options {
 
 /// The per-replica seeds run_replicas assigns: the first \p count outputs
 /// of splitmix64(base_seed). Exposed so tests and sinks can label replicas.
+/// Prefix-stable: replica_seeds(s, n) is a prefix of replica_seeds(s, m)
+/// for n <= m — seed r never depends on the batch size. That property is
+/// what lets a resumed sweep (engine/manifest.h) restart a partially
+/// complete grid point at the exact replica boundary: the remaining
+/// replicas get exactly the seeds the uninterrupted run would have used.
 [[nodiscard]] std::vector<std::uint64_t> replica_seeds(std::uint64_t base_seed,
                                                        std::size_t count);
 

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
+#include "engine/manifest.h"
 #include "mobility/factory.h"
 
 namespace manhattan::engine {
@@ -156,6 +158,51 @@ void json_sink::finish() {
     }
     out_ << "\n]}\n";
     out_.flush();
+}
+
+atomic_file_sink::atomic_file_sink(std::string path, format fmt, bool per_replica_times)
+    : path_(std::move(path)), format_(fmt) {
+    if (format_ == format::csv) {
+        csv_.emplace(buffer_);
+    } else {
+        json_.emplace(buffer_, per_replica_times);
+    }
+    try {
+        publish(false);
+    } catch (const std::runtime_error& e) {
+        throw std::invalid_argument("atomic_file_sink: cannot write '" + path_ +
+                                    "': " + e.what());
+    }
+}
+
+void atomic_file_sink::on_row(const sweep_row& row) {
+    if (format_ == format::csv) {
+        csv_->on_row(row);
+    } else {
+        json_->on_row(row);
+    }
+    publish(false);
+}
+
+void atomic_file_sink::finish() {
+    if (finished_) {
+        return;
+    }
+    finished_ = true;
+    if (json_) {
+        json_->finish();
+    }
+    publish(true);
+}
+
+void atomic_file_sink::publish(bool closed) {
+    std::string text = buffer_.str();
+    if (format_ == format::json && !closed) {
+        // Close the partial document so every published state parses; the
+        // terminator matches what json_sink::finish() will eventually write.
+        text += text.empty() ? "{\"rows\": [\n]}\n" : "\n]}\n";
+    }
+    atomic_write_file(path_, text);
 }
 
 table_sink::table_sink(std::ostream& out)

@@ -7,7 +7,10 @@
 /// never called concurrently.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -55,7 +58,10 @@ class csv_sink final : public result_sink {
 };
 
 /// Machine-readable JSON: {"rows": [...]} with per-replica flooding times
-/// (the trajectory payload BENCH_*.json consumers read).
+/// (the trajectory payload BENCH_*.json consumers read). Writes to a plain
+/// stream, flushed per row; for crash-safe file output (fsync + rename on
+/// every checkpoint boundary, document always closed) wrap it in
+/// atomic_file_sink below — the variant checkpointed sweeps should use.
 class json_sink final : public result_sink {
  public:
     explicit json_sink(std::ostream& out, bool per_replica_times = true)
@@ -67,6 +73,40 @@ class json_sink final : public result_sink {
     std::ostream& out_;
     bool per_replica_times_;
     bool open_ = false;
+    bool finished_ = false;
+};
+
+/// Crash-safe file sink, the durable variant of csv_sink / json_sink for
+/// checkpointed sweeps. Rows render through the wrapped stream sink into an
+/// in-memory buffer; every on_row() — the sweep's checkpoint boundary, since
+/// rows stream per grid point — publishes the complete document-so-far to
+/// `path` via write-temp + fsync + rename (engine::atomic_write_file).
+///
+/// The atomic append contract: a reader, or a crash at any instant, observes
+/// either the previous complete document or the new one — never a
+/// half-written row. Published JSON is additionally *closed* in every state
+/// (the partial document gets the "\n]}\n" terminator a finish() would
+/// write), so a killed sweep always leaves parseable output behind.
+class atomic_file_sink final : public result_sink {
+ public:
+    enum class format : std::uint8_t { csv, json };
+
+    /// Opens (and immediately publishes an empty document to) \p path, so an
+    /// unwritable destination fails before any replica is computed. Throws
+    /// std::invalid_argument on failure.
+    atomic_file_sink(std::string path, format fmt, bool per_replica_times = true);
+
+    void on_row(const sweep_row& row) override;
+    void finish() override;  ///< final publish; idempotent
+
+ private:
+    void publish(bool closed);
+
+    std::string path_;
+    format format_;
+    std::ostringstream buffer_;
+    std::optional<csv_sink> csv_;
+    std::optional<json_sink> json_;
     bool finished_ = false;
 };
 

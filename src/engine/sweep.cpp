@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
+#include <memory>
 #include <stdexcept>
 
+#include "engine/manifest.h"
 #include "engine/sink.h"
 #include "engine/thread_pool.h"
 #include "mobility/factory.h"
@@ -159,26 +162,82 @@ std::vector<sweep_point> sweep_spec::expand() const {
 
 namespace {
 
-/// The scalars a sweep row needs from one replica. Workers reduce the full
-/// scenario_outcome (which carries n-sized vectors) to this immediately, so
-/// a big sweep's memory stays O(points x reps) scalars, not O(... x n).
-struct replica_stat {
-    double time = 0.0;
-    bool completed = false;
-    std::optional<std::uint64_t> cz_step;
-    double suburb_diameter = 0.0;
-    double wall_seconds = 0.0;
-    std::vector<double> message_times;          ///< per-message flooding time
-    std::vector<std::uint8_t> message_completed;
-};
+/// Reduce one scenario_outcome (which carries n-sized vectors) to the
+/// scalars its sweep row aggregates — the ledger's replica_stat. Workers do
+/// this immediately, so a big sweep's memory stays O(points x reps) scalars.
+replica_stat reduce_outcome(const core::scenario_outcome& out) {
+    replica_stat stat{static_cast<double>(out.flood.flooding_time), out.flood.completed,
+                      out.flood.central_zone_informed_step, out.suburb_diameter,
+                      out.wall_seconds,
+                      {}, {}};
+    stat.message_times.reserve(out.spread.messages.size());
+    stat.message_completed.reserve(out.spread.messages.size());
+    for (const auto& msg : out.spread.messages) {
+        // Same convention as the headline time: an incomplete message
+        // contributes the steps the run took.
+        stat.message_times.push_back(
+            static_cast<double>(msg.completed ? msg.flooding_time : out.spread.steps));
+        stat.message_completed.push_back(msg.completed ? 1 : 0);
+    }
+    return stat;
+}
+
+/// Load (or initialise) the checkpoint ledger for this sweep. A pre-existing
+/// manifest is validated against the spec fingerprint and grid shape — a
+/// mismatch hard-fails so an edited sweep can never silently mix rows with a
+/// stale ledger.
+std::unique_ptr<checkpoint_ledger> open_ledger(const checkpoint_options& checkpoint,
+                                               std::span<const sweep_point> points,
+                                               std::size_t reps) {
+    if (checkpoint.manifest_path.empty()) {
+        return nullptr;
+    }
+    const std::uint64_t fingerprint = sweep_fingerprint(points, reps);
+    run_manifest manifest;
+    const bool exists = [&] {
+        std::ifstream probe(checkpoint.manifest_path);
+        return probe.good();
+    }();
+    if (exists) {
+        manifest = load_manifest(checkpoint.manifest_path);
+        if (manifest.fingerprint != fingerprint || manifest.points != points.size() ||
+            manifest.repetitions != reps) {
+            throw manifest_error(
+                "manifest: '" + checkpoint.manifest_path +
+                "' does not match this sweep (manifest fingerprint " +
+                std::to_string(manifest.fingerprint) + ", " +
+                std::to_string(manifest.points) + " points x " +
+                std::to_string(manifest.repetitions) + " reps; sweep fingerprint " +
+                std::to_string(fingerprint) + ", " + std::to_string(points.size()) +
+                " points x " + std::to_string(reps) +
+                " reps). The axes, seed, repetitions or engine version changed since the "
+                "checkpoint was written — delete the manifest or rerun without --resume=");
+        }
+    } else {
+        manifest.fingerprint = fingerprint;
+        manifest.points = points.size();
+        manifest.repetitions = reps;
+    }
+    return std::make_unique<checkpoint_ledger>(std::move(manifest),
+                                               checkpoint.manifest_path,
+                                               checkpoint.checkpoint_every,
+                                               checkpoint.abort_after);
+}
 
 }  // namespace
 
 sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
-                       std::span<result_sink* const> sinks) {
+                       std::span<result_sink* const> sinks,
+                       const checkpoint_options& checkpoint) {
     const auto start = std::chrono::steady_clock::now();
     const auto points = spec.expand();
     const std::size_t reps = spec.repetitions;
+
+    // Checkpoint/restart: replay recorded replicas into their slots and only
+    // compute the missing ones. Because seeds[p] is a pure function of the
+    // point's base seed, a partially complete point restarts at the exact
+    // replica boundary and the resumed output is bit-identical.
+    const auto ledger = open_ledger(checkpoint, points, reps);
 
     // Queue every (point, replica) pair upfront on one pool: replicas of a
     // slow grid point overlap with replicas of fast ones, so workers never
@@ -192,29 +251,39 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
         seeds[p] = replica_seeds(points[p].sc.seed, reps);
         pending[p].reserve(reps);
     }
+    // Copy the replayed stats out of the ledger *before* workers start:
+    // record() grows the manifest's record vector, so pointers into it are
+    // only stable while the sweep is single-threaded.
+    std::vector<std::vector<std::uint8_t>> done(points.size(),
+                                                std::vector<std::uint8_t>(reps, 0));
+    if (ledger != nullptr) {
+        const auto table = ledger->manifest().by_point();
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            for (std::size_t r = 0; r < reps; ++r) {
+                if (table[p][r] != nullptr) {
+                    replica_stats[p][r] = table[p][r]->stat;
+                    done[p][r] = 1;
+                }
+            }
+        }
+    }
 
     thread_pool pool(opts.threads);
     for (std::size_t p = 0; p < points.size(); ++p) {
         for (std::size_t r = 0; r < reps; ++r) {
-            pending[p].push_back(pool.submit([&replica_stats, &seeds, &points, p, r] {
-                core::scenario sc = points[p].sc;
-                sc.seed = seeds[p][r];
-                const auto out = core::run_scenario(sc);
-                replica_stat stat{static_cast<double>(out.flood.flooding_time),
-                                  out.flood.completed, out.flood.central_zone_informed_step,
-                                  out.suburb_diameter, out.wall_seconds,
-                                  {}, {}};
-                stat.message_times.reserve(out.spread.messages.size());
-                stat.message_completed.reserve(out.spread.messages.size());
-                for (const auto& msg : out.spread.messages) {
-                    // Same convention as the headline time: an incomplete
-                    // message contributes the steps the run took.
-                    stat.message_times.push_back(static_cast<double>(
-                        msg.completed ? msg.flooding_time : out.spread.steps));
-                    stat.message_completed.push_back(msg.completed ? 1 : 0);
-                }
-                replica_stats[p][r] = std::move(stat);
-            }));
+            if (done[p][r] != 0) {
+                continue;  // replayed from the manifest
+            }
+            pending[p].push_back(
+                pool.submit([&replica_stats, &seeds, &points, &ledger, p, r] {
+                    core::scenario sc = points[p].sc;
+                    sc.seed = seeds[p][r];
+                    replica_stat stat = reduce_outcome(core::run_scenario(sc));
+                    replica_stats[p][r] = stat;
+                    if (ledger != nullptr) {
+                        ledger->record(p, r, std::move(stat));
+                    }
+                }));
         }
     }
 
@@ -284,6 +353,11 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
             sink->on_row(row);
         }
         result.rows.push_back(std::move(row));
+    }
+    if (ledger != nullptr) {
+        // Final publish — also on the error path, so completed replicas
+        // survive a failed sweep and the next --resume= picks them up.
+        ledger->flush();
     }
     if (first_error) {
         std::rethrow_exception(first_error);

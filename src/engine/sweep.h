@@ -96,13 +96,38 @@ struct sweep_result {
     double wall_seconds = 0.0;    ///< driver wall-clock (parallel) time
 };
 
+/// Checkpoint/restart controls for run_sweep (the machinery lives in
+/// engine/manifest.h; docs/ENGINE.md documents format and contract). With an
+/// empty manifest_path run_sweep behaves exactly as before.
+struct checkpoint_options {
+    /// Ledger location, written atomically alongside the sink output. When
+    /// the file already exists, run_sweep resumes from it: recorded replicas
+    /// are replayed (their rows re-aggregate bit-identically and stream to
+    /// the sinks in expansion order), finished grid points are skipped, and
+    /// partially complete points restart at the exact replica boundary. A
+    /// manifest whose fingerprint does not match the spec fails with
+    /// engine::manifest_error instead of silently mixing experiments.
+    std::string manifest_path;
+
+    /// Completed replicas between manifest publishes (>= 1; 0 is treated
+    /// as 1). Each publish rewrites the whole ledger atomically.
+    std::size_t checkpoint_every = 1;
+
+    /// Crash injection for the CI resume smoke: raise SIGKILL after this
+    /// many freshly computed replicas were recorded (0 = never).
+    std::size_t abort_after = 0;
+};
+
 /// Run the sweep. Rows are delivered to every sink in expansion order, each
 /// as soon as its point's replicas complete (later points keep computing
 /// while earlier rows stream out — an interrupted sweep keeps its finished
 /// rows). run_sweep never calls sink->finish(): the composer does, so one
 /// sink may span several sweeps (bench::sink_set automates this). Sinks may
-/// be empty. Throws what run_scenario throws, after draining the pool.
+/// be empty. Throws what run_scenario throws, after draining the pool (the
+/// manifest, when enabled, is flushed even on the error path so completed
+/// replicas survive a failed sweep).
 sweep_result run_sweep(const sweep_spec& spec, const run_options& opts = {},
-                       std::span<result_sink* const> sinks = {});
+                       std::span<result_sink* const> sinks = {},
+                       const checkpoint_options& checkpoint = {});
 
 }  // namespace manhattan::engine

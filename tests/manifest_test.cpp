@@ -1,0 +1,410 @@
+// Checkpoint/restart tests: manifest round trips and edge cases (truncated
+// file, corrupt fields, fingerprint mismatch), resuming a sweep at the exact
+// replica boundary, resuming with a different thread count (bit-identical
+// contract), the checkpoint ledger's publish cadence, and the crash-safe
+// atomic file sinks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+#include "engine/manifest.h"
+#include "engine/runner.h"
+#include "engine/sink.h"
+#include "engine/sweep.h"
+
+namespace {
+
+namespace core = manhattan::core;
+namespace engine = manhattan::engine;
+
+core::scenario small_scenario() {
+    core::scenario sc;
+    const std::size_t n = 1200;
+    sc.params = core::net_params::standard_case(
+        n, 3.0 * std::sqrt(std::log(static_cast<double>(n))), 1.0);
+    sc.seed = 42;
+    sc.max_steps = 50'000;
+    return sc;
+}
+
+/// Two grid points x three replicas — small enough for the fast tier, big
+/// enough that a mid-grid boundary exists.
+engine::sweep_spec small_spec() {
+    engine::sweep_spec spec;
+    spec.base = small_scenario();
+    spec.repetitions = 3;
+    spec.c1 = {2.5, 3.0};
+    return spec;
+}
+
+/// Scratch file in the test working directory, deleted on scope exit.
+class scratch_file {
+ public:
+    explicit scratch_file(const std::string& name) : path_("manifest_test_" + name) {
+        std::remove(path_.c_str());
+    }
+    ~scratch_file() {
+        std::remove(path_.c_str());
+        std::remove((path_ + ".tmp").c_str());
+    }
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    [[nodiscard]] bool exists() const { return std::filesystem::exists(path_); }
+    [[nodiscard]] std::string read() const {
+        std::ifstream in(path_, std::ios::binary);
+        return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+    }
+
+ private:
+    std::string path_;
+};
+
+/// A manifest exercising every field shape: unset and set cz_step, negative
+/// zero, a non-representable decimal, multi-message vectors, sparse records.
+engine::run_manifest tricky_manifest() {
+    engine::run_manifest m;
+    m.fingerprint = 0xdeadbeefcafef00dULL;
+    m.points = 3;
+    m.repetitions = 4;
+    engine::replica_record a;
+    a.point = 2;
+    a.replica = 3;
+    a.stat.time = 0.1;  // not exactly representable: exercises bit round-trip
+    a.stat.completed = true;
+    a.stat.cz_step = 17;
+    a.stat.suburb_diameter = -0.0;
+    a.stat.wall_seconds = 1.5e-7;
+    a.stat.message_times = {123.0, 0.30000000000000004};
+    a.stat.message_completed = {1, 0};
+    engine::replica_record b;
+    b.point = 0;
+    b.replica = 1;
+    b.stat.time = 4096.0;
+    b.stat.cz_step = std::nullopt;
+    m.records = {a, b};
+    return m;
+}
+
+// --------------------------------------------------------------- manifest ---
+
+TEST(manifest_test, serialize_parse_round_trip_is_exact) {
+    const auto m = tricky_manifest();
+    const auto parsed = engine::parse_manifest(engine::serialize_manifest(m));
+    EXPECT_EQ(parsed, m);
+}
+
+TEST(manifest_test, save_load_round_trip_and_no_temp_file_left) {
+    scratch_file file("roundtrip.manifest");
+    const auto m = tricky_manifest();
+    engine::save_manifest(m, file.path());
+    EXPECT_TRUE(file.exists());
+    EXPECT_FALSE(std::filesystem::exists(file.path() + ".tmp"));
+    EXPECT_EQ(engine::load_manifest(file.path()), m);
+
+    // Saving again overwrites atomically.
+    auto m2 = m;
+    m2.records.pop_back();
+    engine::save_manifest(m2, file.path());
+    EXPECT_EQ(engine::load_manifest(file.path()), m2);
+}
+
+TEST(manifest_test, missing_file_fails) {
+    EXPECT_THROW((void)engine::load_manifest("manifest_test_does_not_exist.manifest"),
+                 engine::manifest_error);
+}
+
+TEST(manifest_test, truncated_manifest_fails) {
+    const std::string text = engine::serialize_manifest(tricky_manifest());
+    // Drop the trailing 'end' line: lost-tail truncation.
+    const std::string no_end = text.substr(0, text.rfind("end "));
+    EXPECT_THROW((void)engine::parse_manifest(no_end), engine::manifest_error);
+    // Cut mid-record: a half-written line can never parse.
+    EXPECT_THROW((void)engine::parse_manifest(text.substr(0, text.size() / 2)),
+                 engine::manifest_error);
+    // Empty file.
+    EXPECT_THROW((void)engine::parse_manifest(""), engine::manifest_error);
+}
+
+TEST(manifest_test, corrupt_manifest_fails) {
+    const auto m = tricky_manifest();
+    const std::string text = engine::serialize_manifest(m);
+
+    // Wrong format header.
+    std::string bad = text;
+    bad.replace(bad.find("v1"), 2, "v9");
+    EXPECT_THROW((void)engine::parse_manifest(bad), engine::manifest_error);
+
+    // Garbage in a numeric field.
+    bad = text;
+    bad.replace(bad.find("fingerprint ") + 12, 4, "zzzz");
+    EXPECT_THROW((void)engine::parse_manifest(bad), engine::manifest_error);
+
+    // Record-count trailer disagrees with the records present.
+    bad = text;
+    bad.replace(bad.rfind("end 2"), 5, "end 7");
+    EXPECT_THROW((void)engine::parse_manifest(bad), engine::manifest_error);
+
+    // Content after the trailer.
+    EXPECT_THROW((void)engine::parse_manifest(text + "extra\n"), engine::manifest_error);
+
+    // A record outside the declared grid.
+    auto out_of_grid = m;
+    out_of_grid.records[0].point = m.points;
+    EXPECT_THROW((void)engine::parse_manifest(engine::serialize_manifest(out_of_grid)),
+                 engine::manifest_error);
+
+    // Duplicate (point, replica) records.
+    auto duplicated = m;
+    duplicated.records.push_back(duplicated.records[0]);
+    EXPECT_THROW((void)engine::parse_manifest(engine::serialize_manifest(duplicated)),
+                 engine::manifest_error);
+}
+
+TEST(manifest_test, complete_reflects_the_ledger) {
+    engine::run_manifest m;
+    m.points = 1;
+    m.repetitions = 2;
+    EXPECT_FALSE(m.complete());
+    m.records.push_back({0, 0, {}});
+    m.records.push_back({0, 1, {}});
+    EXPECT_TRUE(m.complete());
+}
+
+// ------------------------------------------------------------ fingerprint ---
+
+TEST(manifest_test, fingerprint_is_stable_and_spec_sensitive) {
+    const auto spec = small_spec();
+    const auto fp = engine::sweep_fingerprint(spec);
+    EXPECT_EQ(engine::sweep_fingerprint(spec), fp);
+
+    auto other_seed = spec;
+    other_seed.base.seed = 43;
+    EXPECT_NE(engine::sweep_fingerprint(other_seed), fp);
+
+    auto other_reps = spec;
+    other_reps.repetitions = 4;
+    EXPECT_NE(engine::sweep_fingerprint(other_reps), fp);
+
+    auto other_axis = spec;
+    other_axis.c1 = {2.5, 3.5};
+    EXPECT_NE(engine::sweep_fingerprint(other_axis), fp);
+
+    auto extra_point = spec;
+    extra_point.c1 = {2.5, 3.0, 3.5};
+    EXPECT_NE(engine::sweep_fingerprint(extra_point), fp);
+
+    auto other_mode = spec;
+    other_mode.gossip_p = {0.5};
+    EXPECT_NE(engine::sweep_fingerprint(other_mode), fp);
+
+    // intra_threads is a wall-clock-only knob: excluded by contract, so a
+    // resume may change it freely (like --threads).
+    auto other_intra = spec;
+    other_intra.base.intra_threads = 8;
+    EXPECT_EQ(engine::sweep_fingerprint(other_intra), fp);
+}
+
+// ----------------------------------------------------------------- ledger ---
+
+TEST(manifest_test, ledger_publishes_every_k_records_and_on_flush) {
+    scratch_file file("ledger.manifest");
+    engine::run_manifest initial;
+    initial.fingerprint = 7;
+    initial.points = 2;
+    initial.repetitions = 3;
+    engine::checkpoint_ledger ledger(initial, file.path(), 2);
+
+    ledger.record(0, 0, {});
+    EXPECT_FALSE(file.exists());  // 1 unsaved < checkpoint_every
+    ledger.record(0, 1, {});
+    ASSERT_TRUE(file.exists());
+    EXPECT_EQ(engine::load_manifest(file.path()).records.size(), 2u);
+
+    ledger.record(1, 0, {});
+    EXPECT_EQ(engine::load_manifest(file.path()).records.size(), 2u);
+    ledger.flush();
+    EXPECT_EQ(engine::load_manifest(file.path()).records.size(), 3u);
+}
+
+// ------------------------------------------------------- checkpointed sweep ---
+
+TEST(manifest_test, checkpointed_sweep_writes_a_complete_manifest) {
+    scratch_file file("sweep.manifest");
+    const auto spec = small_spec();
+    const auto result = engine::run_sweep(spec, {.threads = 2}, {},
+                                          {.manifest_path = file.path()});
+    ASSERT_EQ(result.rows.size(), 2u);
+    const auto manifest = engine::load_manifest(file.path());
+    EXPECT_EQ(manifest.fingerprint, engine::sweep_fingerprint(spec));
+    EXPECT_EQ(manifest.points, 2u);
+    EXPECT_EQ(manifest.repetitions, 3u);
+    EXPECT_TRUE(manifest.complete());
+}
+
+TEST(manifest_test, resume_at_replica_boundary_is_bit_identical) {
+    const auto spec = small_spec();
+
+    // Reference: one uninterrupted run, rendered through a json_sink (the
+    // fully deterministic artifact — wall times are not part of it).
+    std::ostringstream ref_json;
+    engine::json_sink ref_sink(ref_json);
+    engine::result_sink* ref_sinks[] = {&ref_sink};
+    const auto reference = engine::run_sweep(spec, {.threads = 1}, ref_sinks);
+    ref_sink.finish();
+
+    // A full checkpointed run gives us a complete ledger to carve up.
+    scratch_file file("resume.manifest");
+    (void)engine::run_sweep(spec, {.threads = 2}, {}, {.manifest_path = file.path()});
+    const auto full = engine::load_manifest(file.path());
+    ASSERT_TRUE(full.complete());
+
+    // Simulate an interruption mid-grid: keep point 0's replicas 0 and 2
+    // only (a *sparse* partial point) and nothing of point 1.
+    auto partial = full;
+    partial.records.clear();
+    for (const auto& rec : full.records) {
+        if (rec.point == 0 && rec.replica != 1) {
+            partial.records.push_back(rec);
+        }
+    }
+    ASSERT_EQ(partial.records.size(), 2u);
+    engine::save_manifest(partial, file.path());
+
+    // Resume — at a different thread count than either prior run: the
+    // determinism contract makes threads (and intra_threads) wall-only.
+    std::ostringstream res_json;
+    engine::json_sink res_sink(res_json);
+    engine::result_sink* res_sinks[] = {&res_sink};
+    const auto resumed = engine::run_sweep(spec, {.threads = 4}, res_sinks,
+                                           {.manifest_path = file.path()});
+    res_sink.finish();
+
+    EXPECT_EQ(res_json.str(), ref_json.str());  // byte-identical output
+    ASSERT_EQ(resumed.rows.size(), reference.rows.size());
+    for (std::size_t p = 0; p < reference.rows.size(); ++p) {
+        EXPECT_EQ(resumed.rows[p].times, reference.rows[p].times);
+    }
+    // And the manifest was completed by the resumed run.
+    EXPECT_TRUE(engine::load_manifest(file.path()).complete());
+}
+
+TEST(manifest_test, resume_of_a_complete_manifest_is_a_pure_replay) {
+    scratch_file file("replay.manifest");
+    const auto spec = small_spec();
+    const auto first = engine::run_sweep(spec, {.threads = 2}, {},
+                                         {.manifest_path = file.path()});
+    const auto replayed = engine::run_sweep(spec, {.threads = 2}, {},
+                                            {.manifest_path = file.path()});
+    ASSERT_EQ(replayed.rows.size(), first.rows.size());
+    for (std::size_t p = 0; p < first.rows.size(); ++p) {
+        EXPECT_EQ(replayed.rows[p].times, first.rows[p].times);
+        // Pure replay reproduces even the recorded per-replica wall times.
+        EXPECT_DOUBLE_EQ(replayed.rows[p].wall_seconds, first.rows[p].wall_seconds);
+    }
+}
+
+TEST(manifest_test, fingerprint_mismatch_hard_fails_with_diagnostic) {
+    scratch_file file("mismatch.manifest");
+    const auto spec = small_spec();
+    (void)engine::run_sweep(spec, {.threads = 2}, {}, {.manifest_path = file.path()});
+
+    auto edited = spec;
+    edited.base.seed = 7;  // a different experiment
+    try {
+        (void)engine::run_sweep(edited, {.threads = 2}, {},
+                                {.manifest_path = file.path()});
+        FAIL() << "resuming an edited spec must throw manifest_error";
+    } catch (const engine::manifest_error& e) {
+        EXPECT_NE(std::string{e.what()}.find("does not match"), std::string::npos)
+            << e.what();
+    }
+
+    // Changed repetitions must fail too (the grid shape disagrees).
+    auto more_reps = spec;
+    more_reps.repetitions = 5;
+    EXPECT_THROW((void)engine::run_sweep(more_reps, {.threads = 2}, {},
+                                         {.manifest_path = file.path()}),
+                 engine::manifest_error);
+}
+
+// ------------------------------------------------------- atomic file sinks ---
+
+TEST(manifest_test, atomic_json_sink_publishes_closed_documents_per_row) {
+    // Rows to feed come from a real (tiny) sweep.
+    engine::memory_sink memory;
+    engine::result_sink* mem_sinks[] = {&memory};
+    auto spec = small_spec();
+    spec.repetitions = 2;
+    (void)engine::run_sweep(spec, {.threads = 2}, mem_sinks);
+    ASSERT_EQ(memory.rows().size(), 2u);
+
+    scratch_file file("rows.json");
+    engine::atomic_file_sink sink(file.path(), engine::atomic_file_sink::format::json);
+    // Construction publishes an empty, closed document.
+    EXPECT_EQ(file.read(), "{\"rows\": [\n]}\n");
+
+    sink.on_row(memory.rows()[0]);
+    std::string mid = file.read();
+    // The mid-stream document is closed (valid) and holds exactly one row.
+    EXPECT_EQ(mid.substr(mid.size() - 4), "\n]}\n");
+    EXPECT_NE(mid.find("\"index\": 0"), std::string::npos);
+    EXPECT_EQ(mid.find("\"index\": 1"), std::string::npos);
+
+    sink.on_row(memory.rows()[1]);
+    sink.finish();
+    sink.finish();  // idempotent
+
+    // The final document is byte-identical to a plain json_sink rendering.
+    std::ostringstream reference;
+    engine::json_sink ref(reference);
+    ref.on_row(memory.rows()[0]);
+    ref.on_row(memory.rows()[1]);
+    ref.finish();
+    EXPECT_EQ(file.read(), reference.str());
+    EXPECT_FALSE(std::filesystem::exists(file.path() + ".tmp"));
+}
+
+TEST(manifest_test, atomic_csv_sink_matches_the_stream_sink) {
+    engine::memory_sink memory;
+    engine::result_sink* mem_sinks[] = {&memory};
+    auto spec = small_spec();
+    spec.repetitions = 2;
+    (void)engine::run_sweep(spec, {.threads = 2}, mem_sinks);
+
+    scratch_file file("rows.csv");
+    engine::atomic_file_sink sink(file.path(), engine::atomic_file_sink::format::csv);
+    for (const auto& row : memory.rows()) {
+        sink.on_row(row);
+    }
+    sink.finish();
+
+    std::ostringstream reference;
+    engine::csv_sink ref(reference);
+    for (const auto& row : memory.rows()) {
+        ref.on_row(row);
+    }
+    EXPECT_EQ(file.read(), reference.str());
+}
+
+// ----------------------------------------------------------------- runner ---
+
+TEST(manifest_test, replica_seeds_are_prefix_stable) {
+    // The resume-at-replica-boundary contract: seed r never depends on the
+    // batch size, so the replicas a resumed run still has to compute get
+    // exactly the seeds the uninterrupted run would have used.
+    const auto full = engine::replica_seeds(123, 6);
+    for (std::size_t count = 0; count <= full.size(); ++count) {
+        const auto prefix = engine::replica_seeds(123, count);
+        ASSERT_EQ(prefix.size(), count);
+        for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_EQ(prefix[i], full[i]) << i;
+        }
+    }
+}
+
+}  // namespace
