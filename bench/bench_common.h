@@ -14,19 +14,33 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/params.h"
 #include "core/scenario.h"
+#include "engine/progress.h"
 #include "engine/runner.h"
 #include "engine/sink.h"
+#include "engine/sweep.h"
 #include "engine/thread_pool.h"
+#include "engine/trace_sink.h"
 #include "util/cli.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace manhattan::bench {
 
 /// Print the experiment banner (id + which paper artifact it regenerates).
 inline void banner(const std::string& experiment_id, const std::string& artifact) {
     std::printf("## %s — %s\n\n", experiment_id.c_str(), artifact.c_str());
+}
+
+/// Diagnostic / progress output ("wrote results.csv", skipped-case notes,
+/// environment warnings). Always stderr: stdout is the report the
+/// EXPERIMENTS.md tables are cut from, and `bench 2>/dev/null` must yield it
+/// byte-for-byte regardless of observability flags.
+inline void note(const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 /// Print a verdict line summarising whether the paper's qualitative shape
@@ -269,6 +283,60 @@ class checkpointer {
     std::size_t every_;
     std::size_t abort_after_;
     std::size_t sweep_ = 0;
+};
+
+/// Observability knobs shared by every sweep binary (docs/OBSERVABILITY.md):
+///   --telemetry          enable the process-wide instrument switch
+///                        (util/telemetry.h) without writing a trace;
+///   --trace=FILE         JSONL event stream (engine/trace_sink.h); implies
+///                        --telemetry so phase timings are non-zero;
+///   --trace-every=K      publish cadence, events per atomic write (default
+///                        1 = crash-safe after every event);
+///   --progress           live progress/ETA line on stderr.
+/// None of these affect results: flood/spread outputs are bit-identical with
+/// any combination on or off. Binaries that run several sweeps call arm()
+/// once per run_sweep and sweep_done() after it, in order — every sweep
+/// appends to the same trace file, labelled by its sweep id.
+class telemetry_set {
+ public:
+    /// Throws std::invalid_argument when --trace= cannot be written.
+    explicit telemetry_set(const util::cli_args& args)
+        : progress_flag_(args.has("progress")) {
+        if (args.has("trace")) {
+            trace_.emplace(args.get_string("trace", ""),
+                           count_arg(args, "trace-every", 1));
+        }
+        if (args.has("telemetry") || args.has("trace")) {
+            util::telemetry::set_enabled(true);
+        }
+    }
+
+    /// Arm one run_sweep call: attach the trace sink and (with --progress) a
+    /// fresh reporter sized to \p spec's grid.
+    void arm(engine::run_options& opts, const engine::sweep_spec& spec) {
+        if (trace_) {
+            opts.trace = &*trace_;
+        }
+        if (progress_flag_) {
+            const std::size_t points = spec.expand().size();
+            progress_ = std::make_unique<engine::progress_reporter>(
+                points, points * spec.repetitions);
+            opts.progress = progress_.get();
+        }
+    }
+
+    /// Close out the armed sweep (terminates the live progress line).
+    void sweep_done() {
+        if (progress_ != nullptr) {
+            progress_->finish();
+            progress_.reset();
+        }
+    }
+
+ private:
+    bool progress_flag_;
+    std::optional<engine::trace_sink> trace_;
+    std::unique_ptr<engine::progress_reporter> progress_;
 };
 
 /// The sinks a sweep binary feeds: add your own (usually a memory_sink for

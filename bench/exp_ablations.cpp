@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
     // sweep its own manifest (PATH, PATH.2).
     bench::sink_set file_sinks(args);
     bench::checkpointer ckpt(args);
+    bench::telemetry_set telem(args);
 
     // (1) propagation semantics, as a mode-axis sweep.
     engine::sweep_spec prop_spec;
@@ -63,7 +64,10 @@ int main(int argc, char** argv) {
     prop_spec.repetitions = reps;
     prop_spec.mode = {core::propagation::one_hop, core::propagation::per_component};
     engine::memory_sink prop_rows;
-    (void)engine::run_sweep(prop_spec, opts, file_sinks.with(&prop_rows), ckpt.next());
+    engine::run_options prop_opts = opts;
+    telem.arm(prop_opts, prop_spec);
+    (void)engine::run_sweep(prop_spec, prop_opts, file_sinks.with(&prop_rows), ckpt.next());
+    telem.sweep_done();
     const double one_hop = prop_rows.rows()[0].summary.mean;
     const double per_component = prop_rows.rows()[1].summary.mean;
     t.add_row({"propagation", "one hop (paper)", util::fmt(one_hop), "reference"});
@@ -121,7 +125,11 @@ int main(int argc, char** argv) {
     gossip_spec.repetitions = reps;
     gossip_spec.gossip_p = {1.0, 0.5, 0.25};
     engine::memory_sink gossip_rows;
-    (void)engine::run_sweep(gossip_spec, opts, file_sinks.with(&gossip_rows), ckpt.next());
+    engine::run_options gossip_opts = opts;
+    telem.arm(gossip_opts, gossip_spec);
+    (void)engine::run_sweep(gossip_spec, gossip_opts, file_sinks.with(&gossip_rows),
+                            ckpt.next());
+    telem.sweep_done();
     for (const auto& row : gossip_rows.rows()) {
         const double p = row.point.sc.gossip_p;
         t.add_row({"gossip", "p = " + util::fmt(p), util::fmt(row.summary.mean),

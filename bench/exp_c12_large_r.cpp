@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     const auto opts = bench::engine_options(args);
     bench::checkpointer ckpt(args);  // one manifest per n sweep
+    bench::telemetry_set telem(args);
     const double factors[] = {0.45, 1.0, 1.3};
 
     util::table t({"n", "R / threshold", "R", "suburb cells", "max T", "18 L/R", "ok"});
@@ -45,7 +46,10 @@ int main(int argc, char** argv) {
         bench::apply_source(args, spec.base);  // --source= overrides the default
 
         engine::memory_sink memory;
-        (void)engine::run_sweep(spec, opts, sinks.with(&memory), ckpt.next());
+        engine::run_options sweep_opts = opts;
+        telem.arm(sweep_opts, spec);
+        (void)engine::run_sweep(spec, sweep_opts, sinks.with(&memory), ckpt.next());
+        telem.sweep_done();
 
         for (const auto& row : memory.rows()) {
             const double radius = row.point.sc.params.radius;

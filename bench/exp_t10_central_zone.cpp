@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     const auto opts = bench::engine_options(args);
     bench::checkpointer ckpt(args);  // one manifest per placement sweep
+    bench::telemetry_set telem(args);
 
     // --source= collapses the center/corner contrast to one pinned placement.
     const auto placements = bench::source_contrast(
@@ -42,7 +43,10 @@ int main(int argc, char** argv) {
     for (const auto placement : placements) {
         spec.base.source = placement;
         engine::memory_sink memory;
-        (void)engine::run_sweep(spec, opts, sinks.with(&memory), ckpt.next());
+        engine::run_options sweep_opts = opts;
+        telem.arm(sweep_opts, spec);
+        (void)engine::run_sweep(spec, sweep_opts, sinks.with(&memory), ckpt.next());
+        telem.sweep_done();
         for (const auto& row : memory.rows()) {
             const auto& p = row.point.sc.params;
             // A replica whose CZ never filled reports loudly.

@@ -50,7 +50,11 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     sinks.add(&memory);
     bench::checkpointer ckpt(args);
-    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span(), ckpt.next());
+    bench::telemetry_set telem(args);
+    engine::run_options opts = bench::engine_options(args);
+    telem.arm(opts, spec);
+    (void)engine::run_sweep(spec, opts, sinks.span(), ckpt.next());
+    telem.sweep_done();
 
     util::table t({"n", "L", "R", "mean T", "sd", "L/R", "T / (L/R)"});
     std::vector<double> ns;

@@ -38,7 +38,11 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     sinks.add(&memory);
     bench::checkpointer ckpt(args);
-    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span(), ckpt.next());
+    bench::telemetry_set telem(args);
+    engine::run_options opts = bench::engine_options(args);
+    telem.arm(opts, spec);
+    (void)engine::run_sweep(spec, opts, sinks.span(), ckpt.next());
+    telem.sweep_done();
 
     util::table t({"c1", "R", "v", "mean T", "sd", "L/R", "S/v", "18L/R + 30 S/v", "T ok"});
     std::vector<double> means;

@@ -45,7 +45,11 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     sinks.add(&memory);
     bench::checkpointer ckpt(args);
-    (void)engine::run_sweep(spec, bench::engine_options(args), sinks.span(), ckpt.next());
+    bench::telemetry_set telem(args);
+    engine::run_options opts = bench::engine_options(args);
+    telem.arm(opts, spec);
+    (void)engine::run_sweep(spec, opts, sinks.span(), ckpt.next());
+    telem.sweep_done();
 
     util::table t({"v", "mean T", "cz T", "suburb tail (T - czT)", "1/v"});
     std::vector<double> inv_v;

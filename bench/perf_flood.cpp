@@ -13,7 +13,16 @@
 // Knobs: --n=10000,31623,100000 --threads=1,4,0 --reps=3 --c1=1.0 --seed=1
 //        --max-steps=5000 --json=BENCH_flood.json
 //        --baseline=BENCH_flood.json --regress-tol=0.25
-//        --min-speedup=3 --min-speedup-cores=8
+//        --min-speedup=3 --min-speedup-cores=8 --overhead-tol=0.02
+//
+// Per-phase breakdown: after the (telemetry-off, baseline-comparable) rows,
+// each n gets one extra serial pass with telemetry enabled
+// (util/telemetry.h). That pass yields the advance / grid_rebuild / scan /
+// components split in the report and in BENCH_flood.json ("phases" on the
+// serial rows), plus telemetry_steps_per_sec. --overhead-tol=TOL arms the
+// telemetry overhead gate: at the largest n, the enabled pass's throughput
+// must stay within TOL of the disabled serial row (the instrumented spans
+// are ms-scale steps, so clock reads should cost well under 1%).
 //
 // --baseline= compares this run's per-step throughput against a previously
 // emitted BENCH_flood.json: a matched (n, engine, threads) row whose
@@ -44,6 +53,7 @@
 #include "engine/thread_pool.h"
 #include "mobility/factory.h"
 #include "mobility/walker.h"
+#include "util/telemetry.h"
 #include "util/timer.h"
 
 using namespace manhattan;
@@ -59,6 +69,8 @@ struct perf_row {
     double steps_per_sec = 0.0;
     std::uint64_t flooding_time = 0;  // determinism witness: equal across engines
     double speedup_vs_1thread = 0.0;  // 0 until the 1-thread row is known
+    util::phase_profile phases;       // zeros unless measured with telemetry on
+    double telemetry_steps_per_sec = 0.0;  // the enabled pass (serial rows only)
 };
 
 /// One timed measurement: `reps` complete replicas of the identical flood
@@ -88,6 +100,7 @@ perf_row measure(std::size_t n, double c1, std::uint64_t seed, std::size_t reps,
         row.seconds += clock.seconds();
         row.steps += result.flooding_time;
         row.flooding_time = result.flooding_time;
+        row.phases += sim.profile();  // all zeros while telemetry is off
     }
     row.steps_per_sec =
         row.seconds > 0.0 ? static_cast<double>(row.steps) / row.seconds : 0.0;
@@ -150,9 +163,10 @@ bool check_baseline(const baseline_file& base, const std::vector<perf_row>& rows
                     double tolerance) {
     const bool host_match = base.hardware_concurrency == engine::default_thread_count();
     if (!host_match) {
-        std::printf("\nbaseline host has %zu hardware threads, this host %zu — "
-                    "reporting only, not enforcing\n",
-                    base.hardware_concurrency, engine::default_thread_count());
+        bench::note("baseline host has " + util::fmt(base.hardware_concurrency) +
+                    " hardware threads, this host " +
+                    util::fmt(engine::default_thread_count()) +
+                    " — reporting only, not enforcing");
     }
     bool ok = true;
     std::size_t matched = 0;
@@ -199,8 +213,20 @@ void write_json(std::ostream& out, const std::vector<perf_row>& rows, double c1,
             << "\", \"threads\": " << r.threads << ", \"steps\": " << r.steps
             << ", \"seconds\": " << r.seconds << ", \"steps_per_sec\": " << r.steps_per_sec
             << ", \"flooding_time\": " << r.flooding_time
-            << ", \"speedup_vs_1thread\": " << r.speedup_vs_1thread << "}"
-            << (i + 1 < rows.size() ? ",\n" : "\n");
+            << ", \"speedup_vs_1thread\": " << r.speedup_vs_1thread;
+        if (r.telemetry_steps_per_sec > 0.0) {
+            // The serial rows carry the telemetry pass: per-phase split of
+            // the step loop plus the enabled-instrumentation throughput.
+            out << ", \"telemetry_steps_per_sec\": " << r.telemetry_steps_per_sec
+                << ", \"phases\": {";
+            for (std::size_t p = 0; p < util::phase_count; ++p) {
+                out << (p == 0 ? "" : ", ") << '"'
+                    << util::phase_name(static_cast<util::phase>(p))
+                    << "_s\": " << r.phases.seconds[p];
+            }
+            out << "}";
+        }
+        out << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
     }
     out << "]}\n";
 }
@@ -228,10 +254,24 @@ int main(int argc, char** argv) {
     for (const long long value : n_list) {
         largest_n = std::max(largest_n, value);
     }
+    double overhead_largest_n = 0.0;  // enabled/disabled throughput at largest n
     for (const long long n_signed : n_list) {
         const auto n = static_cast<std::size_t>(n_signed);
         std::vector<perf_row> group;
         group.push_back(measure(n, c1, seed, reps, max_steps, nullptr));
+        {
+            // Telemetry pass: identical work with the instruments live.
+            // Attach its phase split + throughput to the serial row — the
+            // disabled row stays the baseline-comparable measurement.
+            const util::telemetry::scoped_enable on;
+            const perf_row enabled = measure(n, c1, seed, reps, max_steps, nullptr);
+            identical = identical && enabled.flooding_time == group.front().flooding_time;
+            group.front().phases = enabled.phases;
+            group.front().telemetry_steps_per_sec = enabled.steps_per_sec;
+            if (n_signed == largest_n && group.front().steps_per_sec > 0.0) {
+                overhead_largest_n = enabled.steps_per_sec / group.front().steps_per_sec;
+            }
+        }
         for (const long long threads : thread_list) {
             engine::thread_pool pool(static_cast<std::size_t>(threads));
             group.push_back(measure(n, c1, seed, reps, max_steps, &pool));
@@ -261,7 +301,28 @@ int main(int argc, char** argv) {
         }
     }
     std::printf("%s", t.markdown().c_str());
-    std::printf("\ncores available: %zu\n", engine::default_thread_count());
+
+    // Per-phase split from the telemetry passes (the serial rows carry it).
+    util::table pt({"n", "advance %", "grid %", "scan %", "components %", "telemetry steps/s"});
+    for (const perf_row& r : rows) {
+        if (r.telemetry_steps_per_sec <= 0.0) {
+            continue;
+        }
+        const double total = r.phases.total_seconds();
+        const auto pct = [total](double s) {
+            return total > 0.0 ? util::fmt(100.0 * s / total) : std::string{"-"};
+        };
+        using util::phase;
+        pt.add_row({util::fmt(r.n),
+                    pct(r.phases.seconds[static_cast<std::size_t>(phase::advance)]),
+                    pct(r.phases.seconds[static_cast<std::size_t>(phase::grid_rebuild)]),
+                    pct(r.phases.seconds[static_cast<std::size_t>(phase::scan)]),
+                    pct(r.phases.seconds[static_cast<std::size_t>(phase::components)]),
+                    util::fmt(r.telemetry_steps_per_sec)});
+    }
+    std::printf("\nper-phase split of the step loop (telemetry pass, serial engine):\n\n%s",
+                pt.markdown().c_str());
+    bench::note("cores available: " + util::fmt(engine::default_thread_count()));
 
     if (args.has("json")) {
         const auto path = args.get_string("json", "BENCH_flood.json");
@@ -271,7 +332,7 @@ int main(int argc, char** argv) {
             return 1;
         }
         write_json(out, rows, c1, reps, max_steps, seed);
-        std::printf("wrote %s\n", path.c_str());
+        bench::note("wrote " + path);
     }
 
     bool baseline_ok = true;
@@ -312,9 +373,30 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Telemetry overhead gate: the enabled pass must keep within
+    // --overhead-tol of the disabled serial throughput at the largest n
+    // (where per-step work dwarfs the clock reads; smaller n report only).
+    const double overhead_tol = args.get_double("overhead-tol", 0.0);
+    bool overhead_ok = true;
+    if (overhead_tol > 0.0) {
+        if (overhead_largest_n <= 0.0) {
+            std::printf("overhead gate: no telemetry pass measured at n=%lld  GATE "
+                        "DISARMED\n",
+                        largest_n);
+            overhead_ok = false;
+        } else {
+            overhead_ok = overhead_largest_n >= 1.0 - overhead_tol;
+            std::printf("overhead gate: telemetry-enabled throughput at n=%lld is x%s of "
+                        "disabled (tolerance %s — %s)\n",
+                        largest_n, util::fmt(overhead_largest_n).c_str(),
+                        util::fmt(overhead_tol).c_str(),
+                        overhead_ok ? "met" : "FAILED");
+        }
+    }
+
     bench::verdict(identical,
                    "every engine variant reproduces the identical flooding time (the "
-                   "intra-replica determinism contract)");
+                   "intra-replica determinism contract, telemetry pass included)");
     if (!baseline_ok) {
         bench::verdict(false, "per-step throughput within tolerance of the baseline "
                               "(--baseline= regression gate)");
@@ -323,10 +405,14 @@ int main(int argc, char** argv) {
         bench::verdict(false, "multicore speedup at the largest n reaches the "
                               "--min-speedup= target");
     }
+    if (!overhead_ok) {
+        bench::verdict(false, "telemetry overhead within --overhead-tol= of the "
+                              "disabled step loop");
+    }
     if (speedup_seen) {
         std::printf("best speedup vs 1 pool thread: %s (meaningful only on multi-core "
                     "hosts)\n",
                     util::fmt(best_speedup).c_str());
     }
-    return identical && baseline_ok && speedup_ok ? 0 : 1;
+    return identical && baseline_ok && speedup_ok && overhead_ok ? 0 : 1;
 }

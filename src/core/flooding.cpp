@@ -1,6 +1,7 @@
 #include "core/flooding.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -238,6 +239,7 @@ void flooding_sim::propagate_one_hop(message_state& msg) {
 /// each message's newly set) is independent of the unite order, so results
 /// match the serial path exactly.
 void flooding_sim::build_components() {
+    const util::phase_timer timing(profile_, util::phase::components);
     const auto positions = walker_.positions();
     const std::size_t n = walker_.size();
     dsu_.reset(n);
@@ -413,14 +415,32 @@ bool flooding_sim::all_informed(std::size_t m) const {
 
 std::size_t flooding_sim::step() {
     ++step_count_;
-    if (exec_ != nullptr) {
-        walker_.step(*exec_);
-        grid_.rebuild(walker_.positions(), *exec_);
-    } else {
-        walker_.step();
-        grid_.rebuild(walker_.positions());
+    {
+        const util::phase_timer timing(profile_, util::phase::advance);
+        if (exec_ != nullptr) {
+            walker_.step(*exec_);
+        } else {
+            walker_.step();
+        }
+    }
+    {
+        const util::phase_timer timing(profile_, util::phase::grid_rebuild);
+        if (exec_ != nullptr) {
+            grid_.rebuild(walker_.positions(), *exec_);
+        } else {
+            grid_.rebuild(walker_.positions());
+        }
     }
     dsu_ready_ = false;
+
+    // Scan-phase timing brackets the whole message loop but excludes the
+    // nested shared-component build, which bills to its own phase inside
+    // build_components() — the four phases tile a step without overlap.
+    const bool timing_on = util::telemetry::enabled();
+    const auto scan_start =
+        timing_on ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+    const double components_before =
+        profile_.seconds[static_cast<std::size_t>(util::phase::components)];
 
     // One kinematics pass above, then every live message transmits over the
     // shared grid. Messages are independent overlays: order is fixed (spec
@@ -445,6 +465,15 @@ std::size_t flooding_sim::step() {
         if (cfg_.record_timeline && !was_complete) {
             msg.timeline.push_back(msg.informed_count);  // 0 while unspawned
         }
+    }
+    if (timing_on) {
+        const double loop_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - scan_start)
+                .count();
+        const double components_delta =
+            profile_.seconds[static_cast<std::size_t>(util::phase::components)] -
+            components_before;
+        profile_.add(util::phase::scan, loop_seconds - components_delta);
     }
     refresh_stop_satisfaction();
     return total_newly;

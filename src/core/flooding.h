@@ -24,6 +24,7 @@
 #include "mobility/walker.h"
 #include "rng/rng.h"
 #include "util/parallel.h"
+#include "util/telemetry.h"
 
 namespace manhattan::core {
 
@@ -109,6 +110,12 @@ class flooding_sim {
     [[nodiscard]] const mobility::walker& agents() const noexcept { return walker_; }
     [[nodiscard]] double radius() const noexcept { return radius_; }
 
+    /// Per-phase wall time of every step() so far (util/telemetry.h). All
+    /// zeros while telemetry is disabled — the timers then never read the
+    /// clock. Profiling is observation only: enabling it never changes any
+    /// simulation output (tests/telemetry_test.cpp pins bit-identity).
+    [[nodiscard]] const util::phase_profile& profile() const noexcept { return profile_; }
+
  private:
     /// Per-message spread state. The informed bitmap, informing order and
     /// uninformed-set bookkeeping are exactly the single-message engine's,
@@ -162,6 +169,7 @@ class flooding_sim {
     std::vector<message_state> messages_;
     std::uint64_t step_count_ = 0;
     bool dsu_ready_ = false;  ///< per-step: shared components already built
+    util::phase_profile profile_;  ///< per-phase step timings (telemetry)
 
     // Per-step scratch, shared by every message and reused so the hot path
     // never allocates in steady state. lane_* vectors are indexed by

@@ -1,6 +1,5 @@
 #include "core/scenario.h"
 
-#include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -8,6 +7,7 @@
 #include "engine/runner.h"
 #include "engine/thread_pool.h"
 #include "rng/splitmix64.h"
+#include "util/timer.h"
 
 namespace manhattan::core {
 
@@ -44,7 +44,7 @@ spread_spec scenario::effective_spread() const {
 
 scenario_outcome run_scenario(const scenario& sc) {
     sc.params.validate();
-    const auto start = std::chrono::steady_clock::now();
+    const util::timer clock;
 
     const auto model = mobility::make_model(sc.model, sc.params.side, sc.model_opts);
     rng::rng gen(sc.seed);
@@ -98,12 +98,12 @@ scenario_outcome run_scenario(const scenario& sc) {
     flooding_sim sim(std::move(agents), sc.params.radius, std::move(cfg), cells.get(), exec);
     out.spread = sim.run_spread();
     out.flood = to_flood_result(out.spread, 0);
+    out.phases = sim.profile();
     if (!out.spread.messages.front().sources.empty()) {
         out.source_agent = out.spread.messages.front().sources.front();
     }
 
-    out.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    out.wall_seconds = clock.seconds();
     return out;
 }
 

@@ -60,6 +60,10 @@ struct scenario_outcome {
     spread_result spread;            ///< the full per-message results
     std::size_t source_agent = 0;    ///< first resolved source of message 0
     double wall_seconds = 0.0;
+    /// Per-phase step-loop timings — the replica-level telemetry snapshot
+    /// (all zeros while util::telemetry is disabled). Observation only:
+    /// every other field is bit-identical with telemetry on or off.
+    util::phase_profile phases;
     double cell_side = 0.0;          ///< 0 when no partition was built
     double suburb_diameter = 0.0;    ///< S; 0 when no partition was built
     std::size_t suburb_cells = 0;

@@ -1,0 +1,198 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace manhattan::engine {
+
+fixed_histogram::fixed_histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+    if (bounds_.empty()) {
+        throw std::invalid_argument("fixed_histogram: no buckets");
+    }
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+        std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+        throw std::invalid_argument("fixed_histogram: bounds must be strictly ascending");
+    }
+    counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        counts_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+std::vector<std::uint64_t> fixed_histogram::counts() const {
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = counts_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+std::uint64_t fixed_histogram::total() const noexcept {
+    std::uint64_t t = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        t += counts_[i].load(std::memory_order_relaxed);
+    }
+    return t;
+}
+
+const char* metric_kind_name(metric_snapshot::kind k) noexcept {
+    switch (k) {
+        case metric_snapshot::kind::counter:
+            return "counter";
+        case metric_snapshot::kind::gauge:
+            return "gauge";
+        case metric_snapshot::kind::histogram:
+            return "histogram";
+    }
+    return "?";
+}
+
+/// One registered instrument. Exactly one of the three members is engaged
+/// (by `what`); unique_ptr members keep the entry movable while the
+/// instruments themselves stay pinned in memory.
+struct metrics_registry::entry {
+    std::string name;
+    metric_snapshot::kind what = metric_snapshot::kind::counter;
+    std::unique_ptr<counter> as_counter;
+    std::unique_ptr<gauge> as_gauge;
+    std::unique_ptr<fixed_histogram> as_histogram;
+};
+
+metrics_registry::metrics_registry() = default;
+metrics_registry::~metrics_registry() = default;
+
+counter& metrics_registry::get_counter(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& e : entries_) {
+        if (e->name == name) {
+            if (e->what != metric_snapshot::kind::counter) {
+                throw std::invalid_argument("metrics: '" + name + "' is a " +
+                                            metric_kind_name(e->what) + ", not a counter");
+            }
+            return *e->as_counter;
+        }
+    }
+    auto e = std::make_unique<entry>();
+    e->name = name;
+    e->what = metric_snapshot::kind::counter;
+    e->as_counter = std::make_unique<counter>();
+    entries_.push_back(std::move(e));
+    return *entries_.back()->as_counter;
+}
+
+gauge& metrics_registry::get_gauge(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& e : entries_) {
+        if (e->name == name) {
+            if (e->what != metric_snapshot::kind::gauge) {
+                throw std::invalid_argument("metrics: '" + name + "' is a " +
+                                            metric_kind_name(e->what) + ", not a gauge");
+            }
+            return *e->as_gauge;
+        }
+    }
+    auto e = std::make_unique<entry>();
+    e->name = name;
+    e->what = metric_snapshot::kind::gauge;
+    e->as_gauge = std::make_unique<gauge>();
+    entries_.push_back(std::move(e));
+    return *entries_.back()->as_gauge;
+}
+
+fixed_histogram& metrics_registry::get_histogram(const std::string& name,
+                                                 std::vector<double> upper_bounds) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& e : entries_) {
+        if (e->name == name) {
+            if (e->what != metric_snapshot::kind::histogram) {
+                throw std::invalid_argument("metrics: '" + name + "' is a " +
+                                            metric_kind_name(e->what) +
+                                            ", not a histogram");
+            }
+            if (e->as_histogram->bounds() != upper_bounds) {
+                throw std::invalid_argument("metrics: histogram '" + name +
+                                            "' re-registered with different bounds");
+            }
+            return *e->as_histogram;
+        }
+    }
+    auto e = std::make_unique<entry>();
+    e->name = name;
+    e->what = metric_snapshot::kind::histogram;
+    e->as_histogram = std::make_unique<fixed_histogram>(std::move(upper_bounds));
+    entries_.push_back(std::move(e));
+    return *entries_.back()->as_histogram;
+}
+
+std::vector<metric_snapshot> metrics_registry::snapshot() const {
+    std::vector<metric_snapshot> out;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(entries_.size());
+        for (const auto& e : entries_) {
+            metric_snapshot snap;
+            snap.name = e->name;
+            snap.what = e->what;
+            switch (e->what) {
+                case metric_snapshot::kind::counter:
+                    snap.value = static_cast<double>(e->as_counter->value());
+                    break;
+                case metric_snapshot::kind::gauge:
+                    snap.value = e->as_gauge->value();
+                    break;
+                case metric_snapshot::kind::histogram:
+                    snap.bounds = e->as_histogram->bounds();
+                    snap.counts = e->as_histogram->counts();
+                    break;
+            }
+            out.push_back(std::move(snap));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const metric_snapshot& a, const metric_snapshot& b) { return a.name < b.name; });
+    return out;
+}
+
+std::vector<metric_snapshot> aggregate_snapshots(
+    std::span<const std::vector<metric_snapshot>> sets) {
+    std::map<std::string, metric_snapshot> merged;
+    for (const auto& set : sets) {
+        for (const metric_snapshot& snap : set) {
+            auto [it, inserted] = merged.try_emplace(snap.name, snap);
+            if (inserted) {
+                continue;
+            }
+            metric_snapshot& acc = it->second;
+            if (acc.what != snap.what) {
+                throw std::invalid_argument("metrics: aggregating '" + snap.name +
+                                            "' across mismatched kinds");
+            }
+            switch (snap.what) {
+                case metric_snapshot::kind::counter:
+                case metric_snapshot::kind::gauge:
+                    acc.value += snap.value;
+                    break;
+                case metric_snapshot::kind::histogram:
+                    if (acc.bounds != snap.bounds) {
+                        throw std::invalid_argument("metrics: aggregating histogram '" +
+                                                    snap.name +
+                                                    "' across mismatched bounds");
+                    }
+                    for (std::size_t i = 0; i < acc.counts.size(); ++i) {
+                        acc.counts[i] += snap.counts[i];
+                    }
+                    break;
+            }
+        }
+    }
+    std::vector<metric_snapshot> out;
+    out.reserve(merged.size());
+    for (auto& [name, snap] : merged) {
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+}  // namespace manhattan::engine

@@ -1,0 +1,140 @@
+#include "engine/progress.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace manhattan::engine {
+
+namespace {
+
+bool stderr_is_tty(int override_flag) {
+    if (override_flag >= 0) {
+        return override_flag != 0;
+    }
+    return ::isatty(STDERR_FILENO) == 1;
+}
+
+/// Humanized duration: 42s, 3m12s, 2h05m.
+std::string fmt_eta(double seconds) {
+    if (!(seconds >= 0.0) || std::isinf(seconds)) {
+        return "?";
+    }
+    const auto total = static_cast<long long>(seconds + 0.5);
+    char buf[32];
+    if (total < 60) {
+        std::snprintf(buf, sizeof buf, "%llds", total);
+    } else if (total < 3600) {
+        std::snprintf(buf, sizeof buf, "%lldm%02llds", total / 60, total % 60);
+    } else {
+        std::snprintf(buf, sizeof buf, "%lldh%02lldm", total / 3600, (total % 3600) / 60);
+    }
+    return buf;
+}
+
+std::string fmt_rate(double rate) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", rate);
+    return buf;
+}
+
+}  // namespace
+
+progress_reporter::progress_reporter(std::size_t total_points, std::size_t total_replicas,
+                                     options opts)
+    : total_points_(total_points),
+      total_replicas_(total_replicas),
+      opts_(opts),
+      tty_(opts.out == nullptr ? stderr_is_tty(opts.tty) : opts.tty == 1),
+      out_(opts.out == nullptr ? std::cerr : *opts.out) {}
+
+void progress_reporter::replica_done() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++replicas_;
+    render_locked(false);
+}
+
+void progress_reporter::add_replayed(std::size_t n) {
+    if (n == 0) {
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    replicas_ += n;
+    replayed_ += n;
+    // Replayed replicas cost nothing now: advance the rate-sample baseline
+    // so the burst never inflates the EWMA throughput.
+    last_fresh_ = replicas_ - replayed_;
+    render_locked(false);
+}
+
+void progress_reporter::point_done() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++points_;
+    render_locked(false);
+}
+
+void progress_reporter::finish() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    render_locked(true);
+    out_ << "\n";
+    out_.flush();
+}
+
+std::size_t progress_reporter::replicas_done() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return replicas_;
+}
+
+std::string progress_reporter::last_line() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return line_;
+}
+
+void progress_reporter::render_locked(bool force) {
+    const double now = clock_.seconds();
+    if (!force && now - last_render_ < opts_.min_interval_seconds) {
+        return;
+    }
+
+    // Rate sample: fresh replicas since the last sample, EWMA-blended with a
+    // time-constant alpha so the estimate tracks the current point's cost.
+    const std::size_t fresh = replicas_ - replayed_;
+    const double dt = now - last_sample_;
+    if (fresh > last_fresh_ && dt > 0.0) {
+        const double inst = static_cast<double>(fresh - last_fresh_) / dt;
+        const double tau = opts_.ewma_tau_seconds > 0.0 ? opts_.ewma_tau_seconds : 1e-9;
+        const double alpha = 1.0 - std::exp(-dt / tau);
+        ewma_rate_ = ewma_rate_ == 0.0 ? inst : ewma_rate_ + alpha * (inst - ewma_rate_);
+        last_fresh_ = fresh;
+        last_sample_ = now;
+    }
+
+    std::ostringstream line;
+    line << "[sweep] points " << points_ << "/" << total_points_ << " | replicas "
+         << replicas_ << "/" << total_replicas_;
+    if (replayed_ > 0) {
+        line << " (" << replayed_ << " replayed)";
+    }
+    if (ewma_rate_ > 0.0) {
+        line << " | " << fmt_rate(ewma_rate_) << " replicas/s";
+        const std::size_t remaining = total_replicas_ - replicas_;
+        if (remaining > 0) {
+            line << " | ETA " << fmt_eta(static_cast<double>(remaining) / ewma_rate_);
+        }
+    }
+    line_ = line.str();
+
+    if (tty_) {
+        // Redraw in place; pad over any longer previous line.
+        out_ << "\r" << line_ << "\033[K";
+    } else {
+        out_ << line_ << "\n";
+    }
+    out_.flush();
+    last_render_ = now;
+}
+
+}  // namespace manhattan::engine

@@ -1,0 +1,81 @@
+/// \file progress.h
+/// Live sweep progress for long runs: a thread-safe reporter the sweep
+/// driver ticks as replicas and points complete, rendering
+///
+///   [sweep] points 3/40 | replicas 120/4000 | 85.3 replicas/s | ETA 45s
+///
+/// to stderr (never stdout — result sinks own stdout). Throughput is an
+/// EWMA over recent completion rate, so the ETA tracks the current point's
+/// cost instead of averaging over a sweep whose points vary by orders of
+/// magnitude. When stderr is a TTY the line redraws in place (\r); piped to
+/// a log it degrades to throttled full lines. Rendering is observation
+/// only: it never touches simulation state, so progress on/off cannot
+/// change results.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "util/timer.h"
+
+namespace manhattan::engine {
+
+/// Thread-safe progress/ETA reporter for one run_sweep call.
+class progress_reporter {
+ public:
+    struct options {
+        double min_interval_seconds = 0.25;  ///< render throttle (0 = every tick)
+        double ewma_tau_seconds = 3.0;       ///< rate smoothing time constant
+        std::ostream* out = nullptr;         ///< nullptr = std::cerr
+        int tty = -1;  ///< -1 auto-detect stderr, 0 plain lines, 1 \r redraw
+    };
+
+    progress_reporter(std::size_t total_points, std::size_t total_replicas)
+        : progress_reporter(total_points, total_replicas, options()) {}
+    progress_reporter(std::size_t total_points, std::size_t total_replicas, options opts);
+
+    progress_reporter(const progress_reporter&) = delete;
+    progress_reporter& operator=(const progress_reporter&) = delete;
+
+    /// One freshly computed replica finished (any worker thread).
+    void replica_done();
+
+    /// \p n replicas were replayed from a checkpoint (counted as done, but
+    /// excluded from the throughput estimate — they cost no compute now).
+    void add_replayed(std::size_t n);
+
+    /// One grid point fully aggregated and delivered (driver thread).
+    void point_done();
+
+    /// Final render: full totals, mean throughput, trailing newline.
+    void finish();
+
+    [[nodiscard]] std::size_t replicas_done() const;
+
+    /// The last rendered status line (without \r/\n) — for tests.
+    [[nodiscard]] std::string last_line() const;
+
+ private:
+    void render_locked(bool force);  ///< caller holds mutex_
+
+    const std::size_t total_points_;
+    const std::size_t total_replicas_;
+    const options opts_;
+    const bool tty_;
+    std::ostream& out_;
+    const util::timer clock_;
+
+    mutable std::mutex mutex_;
+    std::size_t points_ = 0;
+    std::size_t replicas_ = 0;   ///< fresh + replayed
+    std::size_t replayed_ = 0;
+    double last_render_ = 0.0;   ///< clock_ seconds at the last render
+    std::size_t last_fresh_ = 0; ///< fresh replicas at the last rate sample
+    double last_sample_ = 0.0;   ///< clock_ seconds at the last rate sample
+    double ewma_rate_ = 0.0;     ///< replicas/s, 0 until the first sample
+    std::string line_;
+};
+
+}  // namespace manhattan::engine

@@ -18,7 +18,9 @@
 
 namespace manhattan::engine {
 
+class progress_reporter;
 class thread_pool;
+class trace_sink;
 
 /// Execution knobs shared by every engine entry point (bench binaries map
 /// `--threads=` / `--reps=` straight onto these).
@@ -27,6 +29,11 @@ struct run_options {
     std::size_t chunk = 1;    ///< replicas per work unit in run_replicas /
                               ///< flooding_times (1 = best balance; the sweep
                               ///< driver always schedules per-replica)
+
+    // Observability hooks (both optional, both observation-only: results are
+    // bit-identical with or without them — docs/OBSERVABILITY.md).
+    trace_sink* trace = nullptr;            ///< JSONL event stream (sweep driver)
+    progress_reporter* progress = nullptr;  ///< live progress/ETA (sweep driver)
 };
 
 /// The per-replica seeds run_replicas assigns: the first \p count outputs

@@ -88,9 +88,13 @@ std::string json_quote(const std::string& s) {
 
 void csv_sink::on_row(const sweep_row& row) {
     if (!header_written_) {
+        // No wall-clock column: CSV data is a pure function of the sweep
+        // spec, so a resumed run's file is byte-identical to an
+        // uninterrupted one. Timing lives in the trace/metrics stream
+        // (engine/trace_sink.h).
         out_ << "index,label,n,side,radius,speed,model,mode,gossip_p,reps,"
                 "mean,stddev,min,median,max,ci_lo,ci_hi,completed_fraction,"
-                "mean_cz_step,max_cz_step,cz_fraction,suburb_diameter,wall_seconds,"
+                "mean_cz_step,max_cz_step,cz_fraction,suburb_diameter,"
                 "messages,message_mean_times,message_completed_fraction\n";
         header_written_ = true;
     }
@@ -106,7 +110,7 @@ void csv_sink::on_row(const sweep_row& row) {
          << (row.mean_cz_step ? num(*row.mean_cz_step) : std::string{}) << ','
          << (row.max_cz_step ? num(*row.max_cz_step) : std::string{}) << ','
          << num(row.cz_fraction) << ','
-         << num(row.suburb_diameter) << ',' << num(row.wall_seconds) << ','
+         << num(row.suburb_diameter) << ','
          << row.message_mean_times.size() << ',' << joined(row.message_mean_times) << ','
          << joined(row.message_completed_fraction) << '\n';
     out_.flush();  // a killed multi-hour sweep keeps its completed rows

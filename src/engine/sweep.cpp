@@ -1,18 +1,21 @@
 #include "engine/sweep.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "engine/manifest.h"
+#include "engine/progress.h"
 #include "engine/sink.h"
 #include "engine/thread_pool.h"
+#include "engine/trace_sink.h"
 #include "mobility/factory.h"
 #include "rng/rng.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace manhattan::engine {
 
@@ -229,9 +232,13 @@ std::unique_ptr<checkpoint_ledger> open_ledger(const checkpoint_options& checkpo
 sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
                        std::span<result_sink* const> sinks,
                        const checkpoint_options& checkpoint) {
-    const auto start = std::chrono::steady_clock::now();
+    const util::timer clock;
     const auto points = spec.expand();
     const std::size_t reps = spec.repetitions;
+
+    trace_sink* const trace = opts.trace;
+    progress_reporter* const progress = opts.progress;
+    const std::size_t sweep_id = trace != nullptr ? trace->next_sweep_id() : 0;
 
     // Checkpoint/restart: replay recorded replicas into their slots and only
     // compute the missing ones. Because seeds[p] is a pure function of the
@@ -256,6 +263,7 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
     // only stable while the sweep is single-threaded.
     std::vector<std::vector<std::uint8_t>> done(points.size(),
                                                 std::vector<std::uint8_t>(reps, 0));
+    std::size_t replayed = 0;
     if (ledger != nullptr) {
         const auto table = ledger->manifest().by_point();
         for (std::size_t p = 0; p < points.size(); ++p) {
@@ -263,27 +271,76 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
                 if (table[p][r] != nullptr) {
                     replica_stats[p][r] = table[p][r]->stat;
                     done[p][r] = 1;
+                    ++replayed;
                 }
             }
         }
     }
 
     thread_pool pool(opts.threads);
+
+    if (trace != nullptr) {
+        trace->emit("sweep_begin",
+                    {trace_field::num("sweep", sweep_id),
+                     trace_field::str("fingerprint",
+                                      std::to_string(sweep_fingerprint(points, reps))),
+                     trace_field::num("points", points.size()),
+                     trace_field::num("repetitions", reps),
+                     trace_field::num("replicas", points.size() * reps),
+                     trace_field::num("replayed", replayed),
+                     trace_field::num("threads", pool.size())});
+    }
+    if (progress != nullptr) {
+        progress->add_replayed(replayed);
+    }
+
+    // Sweep-level phase aggregation (trace only): workers fold their
+    // replica's profile in under a mutex — per replica, not per step, so
+    // contention is negligible. Zeros unless telemetry is enabled.
+    std::mutex profile_mutex;
+    util::phase_profile sweep_phases;
+
     for (std::size_t p = 0; p < points.size(); ++p) {
         for (std::size_t r = 0; r < reps; ++r) {
             if (done[p][r] != 0) {
                 continue;  // replayed from the manifest
             }
-            pending[p].push_back(
-                pool.submit([&replica_stats, &seeds, &points, &ledger, p, r] {
-                    core::scenario sc = points[p].sc;
-                    sc.seed = seeds[p][r];
-                    replica_stat stat = reduce_outcome(core::run_scenario(sc));
-                    replica_stats[p][r] = stat;
-                    if (ledger != nullptr) {
-                        ledger->record(p, r, std::move(stat));
-                    }
-                }));
+            pending[p].push_back(pool.submit([&replica_stats, &seeds, &points, &ledger,
+                                              &profile_mutex, &sweep_phases, trace, progress,
+                                              sweep_id, p, r] {
+                core::scenario sc = points[p].sc;
+                sc.seed = seeds[p][r];
+                if (trace != nullptr) {
+                    trace->emit("replica_begin", {trace_field::num("sweep", sweep_id),
+                                                  trace_field::num("point", p),
+                                                  trace_field::num("replica", r),
+                                                  trace_field::str("seed",
+                                                                   std::to_string(sc.seed))});
+                }
+                const core::scenario_outcome out = core::run_scenario(sc);
+                replica_stat stat = reduce_outcome(out);
+                if (trace != nullptr) {
+                    trace->emit("replica_end",
+                                {trace_field::num("sweep", sweep_id),
+                                 trace_field::num("point", p),
+                                 trace_field::num("replica", r),
+                                 trace_field::str("seed", std::to_string(sc.seed)),
+                                 trace_field::num("steps", out.spread.steps),
+                                 trace_field::num("time", stat.time),
+                                 trace_field::boolean("completed", stat.completed),
+                                 trace_field::num("wall_s", stat.wall_seconds),
+                                 trace_field::raw("phases", phases_json(out.phases))});
+                    const std::lock_guard<std::mutex> lock(profile_mutex);
+                    sweep_phases += out.phases;
+                }
+                replica_stats[p][r] = stat;
+                if (ledger != nullptr) {
+                    ledger->record(p, r, std::move(stat));
+                }
+                if (progress != nullptr) {
+                    progress->replica_done();
+                }
+            }));
         }
     }
 
@@ -305,6 +362,12 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
         }
         if (first_error) {
             continue;  // keep draining remaining futures before rethrowing
+        }
+
+        if (trace != nullptr) {
+            trace->emit("point_begin", {trace_field::num("sweep", sweep_id),
+                                        trace_field::num("point", p),
+                                        trace_field::str("label", points[p].label)});
         }
 
         sweep_row row;
@@ -352,6 +415,17 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
         for (result_sink* sink : sinks) {
             sink->on_row(row);
         }
+        if (trace != nullptr) {
+            trace->emit("point_end",
+                        {trace_field::num("sweep", sweep_id), trace_field::num("point", p),
+                         trace_field::str("label", points[p].label),
+                         trace_field::num("mean_time", row.summary.mean),
+                         trace_field::num("completed_fraction", row.completed_fraction),
+                         trace_field::num("wall_s", row.wall_seconds)});
+        }
+        if (progress != nullptr) {
+            progress->point_done();
+        }
         result.rows.push_back(std::move(row));
     }
     if (ledger != nullptr) {
@@ -359,11 +433,30 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
         // survive a failed sweep and the next --resume= picks them up.
         ledger->flush();
     }
+    if (trace != nullptr) {
+        // sweep_end lands even on the error path (error flag set), so every
+        // sweep_begin in a surviving trace has its matching end unless the
+        // process died — which the publish-per-event buffering tolerates.
+        std::lock_guard<std::mutex> lock(profile_mutex);
+        trace->emit("sweep_end",
+                    {trace_field::num("sweep", sweep_id),
+                     trace_field::num("points", result.rows.size()),
+                     trace_field::num("replicas_fresh",
+                                      points.size() * reps >= replayed
+                                          ? points.size() * reps - replayed
+                                          : 0),
+                     trace_field::num("replayed", replayed),
+                     trace_field::boolean("error", first_error != nullptr),
+                     trace_field::num("wall_s", clock.seconds()),
+                     trace_field::raw("phases", phases_json(sweep_phases)),
+                     trace_field::raw("pool", pool_json(pool.stats())),
+                     trace_field::raw("metrics", metrics_json(pool.metrics().snapshot()))});
+        trace->flush();
+    }
     if (first_error) {
         std::rethrow_exception(first_error);
     }
-    result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    result.wall_seconds = clock.seconds();
     return result;
 }
 

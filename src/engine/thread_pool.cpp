@@ -5,16 +5,41 @@
 
 namespace manhattan::engine {
 
+namespace {
+
+/// Queue-wait histogram buckets (seconds): 10us .. 10s, decade steps. Fixed
+/// at registration — see engine/metrics.h.
+std::vector<double> queue_wait_bounds() {
+    return {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+}  // namespace
+
 std::size_t default_thread_count() noexcept {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-thread_pool::thread_pool(std::size_t threads) {
+double pool_stats::busy_fraction() const noexcept {
+    if (workers == 0 || !(alive_seconds > 0.0)) {
+        return 0.0;
+    }
+    double busy = 0.0;
+    for (const double s : worker_busy_seconds) {
+        busy += s;
+    }
+    return busy / (static_cast<double>(workers) * alive_seconds);
+}
+
+thread_pool::thread_pool(std::size_t threads)
+    : tasks_run_(metrics_.get_counter("pool.tasks_run")),
+      queue_wait_seconds_(metrics_.get_gauge("pool.queue_wait_seconds")),
+      queue_wait_hist_(metrics_.get_histogram("pool.queue_wait_s", queue_wait_bounds())) {
     const std::size_t count = threads == 0 ? default_thread_count() : threads;
+    busy_ = std::vector<busy_slot>(count);
     workers_.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back([this, i] { worker_loop(i); });
     }
 }
 
@@ -29,31 +54,73 @@ thread_pool::~thread_pool() {
     }
 }
 
-void thread_pool::worker_loop() {
+void thread_pool::worker_loop(std::size_t worker) {
     for (;;) {
-        std::packaged_task<void()> task;
+        queued_task entry;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
             if (queue_.empty()) {
                 return;  // stopping_ with a drained queue
             }
-            task = std::move(queue_.front());
+            entry = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();  // packaged_task stores any exception in its future
+        // Telemetry: sample only tasks whose submit stamped an enqueue time
+        // (the switch may flip mid-flight; an unstamped task is skipped
+        // rather than billed a bogus wait since the epoch).
+        const bool measured = entry.enqueued != std::chrono::steady_clock::time_point{};
+        if (measured) {
+            const double wait = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - entry.enqueued)
+                                    .count();
+            queue_wait_seconds_.add(wait);
+            queue_wait_hist_.observe(wait);
+            tasks_run_.add(1);
+        }
+        const auto run_start = measured ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
+        entry.task();  // packaged_task stores any exception in its future
+        if (measured) {
+            const double busy = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - run_start)
+                                    .count();
+            if (util::telemetry::enabled()) {
+                busy_[worker].seconds.fetch_add(busy, std::memory_order_relaxed);
+            }
+        }
     }
 }
 
 std::future<void> thread_pool::submit(std::function<void()> task) {
-    std::packaged_task<void()> packaged(std::move(task));
-    std::future<void> result = packaged.get_future();
+    queued_task entry;
+    entry.task = std::packaged_task<void()>(std::move(task));
+    if (util::telemetry::enabled()) {
+        entry.enqueued = std::chrono::steady_clock::now();
+    }
+    std::future<void> result = entry.task.get_future();
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(packaged));
+        queue_.push_back(std::move(entry));
     }
     wake_.notify_one();
     return result;
+}
+
+pool_stats thread_pool::stats() const {
+    pool_stats s;
+    s.workers = size();
+    s.tasks_run = tasks_run_.value();
+    s.queue_wait_seconds = queue_wait_seconds_.value();
+    s.queue_wait_bounds = queue_wait_hist_.bounds();
+    s.queue_wait_counts = queue_wait_hist_.counts();
+    s.worker_busy_seconds.reserve(busy_.size());
+    for (const busy_slot& slot : busy_) {
+        s.worker_busy_seconds.push_back(slot.seconds.load(std::memory_order_relaxed));
+    }
+    s.alive_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - born_).count();
+    return s;
 }
 
 void thread_pool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,

@@ -5,8 +5,15 @@
 /// influences *what* a task computes, only *when* — engine::run_replicas
 /// writes every result into a pre-sized slot so outputs are bit-identical
 /// for any thread count (see docs/ENGINE.md).
+///
+/// Telemetry (util/telemetry.h, off by default): with the process-wide
+/// switch on, the pool records tasks run, queue wait (a fixed-bucket
+/// histogram plus a summed gauge) and per-worker busy seconds into its own
+/// metrics_registry. stats() snapshots the lot; the trace sink's sweep_end
+/// event renders it. Measuring never changes scheduling or task outputs.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -17,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/metrics.h"
 #include "util/parallel.h"
 
 namespace manhattan::engine {
@@ -24,6 +32,20 @@ namespace manhattan::engine {
 /// Number of workers `thread_pool{0}` resolves to (hardware concurrency,
 /// never less than 1).
 [[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Utilization snapshot of one pool (all zeros while telemetry is off).
+struct pool_stats {
+    std::size_t workers = 0;
+    std::uint64_t tasks_run = 0;
+    double queue_wait_seconds = 0.0;  ///< summed submit-to-dequeue latency
+    std::vector<double> queue_wait_bounds;        ///< histogram bucket uppers (s)
+    std::vector<std::uint64_t> queue_wait_counts; ///< per-bucket counts (+overflow)
+    std::vector<double> worker_busy_seconds;      ///< per-worker task execution time
+    double alive_seconds = 0.0;       ///< pool age (busy fraction denominator)
+
+    /// Mean busy fraction across workers: total busy / (workers x alive).
+    [[nodiscard]] double busy_fraction() const noexcept;
+};
 
 /// Fixed-size thread pool. Construction spawns the workers; destruction
 /// drains the queue and joins. Thread-safe: any thread may submit.
@@ -62,6 +84,14 @@ class thread_pool {
     /// worker thread, which can deadlock a fully busy pool.
     [[nodiscard]] util::parallel_executor& executor() noexcept { return executor_; }
 
+    /// Utilization snapshot (thread-safe; callable while tasks run). Zeros
+    /// unless telemetry was enabled while the measured work happened.
+    [[nodiscard]] pool_stats stats() const;
+
+    /// The pool's instruments ("pool.tasks_run", "pool.queue_wait_seconds",
+    /// "pool.queue_wait_s" histogram) for snapshot-level aggregation.
+    [[nodiscard]] const metrics_registry& metrics() const noexcept { return metrics_; }
+
  private:
     /// parallel_executor over the owning pool (lane l = worker-shaped
     /// contiguous slice, dispatched as one submit() task).
@@ -76,14 +106,34 @@ class thread_pool {
         thread_pool& pool_;
     };
 
-    void worker_loop();
+    /// A queued task plus its enqueue instant (only stamped while telemetry
+    /// is enabled; a default time_point means "don't measure this one").
+    struct queued_task {
+        std::packaged_task<void()> task;
+        std::chrono::steady_clock::time_point enqueued{};
+    };
+
+    /// Per-worker busy accumulator, cache-line padded so relaxed adds from
+    /// different workers never share a line.
+    struct alignas(64) busy_slot {
+        std::atomic<double> seconds{0.0};
+    };
+
+    void worker_loop(std::size_t worker);
 
     std::mutex mutex_;
     std::condition_variable wake_;
-    std::deque<std::packaged_task<void()>> queue_;
+    std::deque<queued_task> queue_;
     std::vector<std::thread> workers_;
     pool_executor executor_{*this};
     bool stopping_ = false;
+
+    metrics_registry metrics_;
+    counter& tasks_run_;
+    gauge& queue_wait_seconds_;
+    fixed_histogram& queue_wait_hist_;
+    std::vector<busy_slot> busy_;  ///< sized before workers spawn, never resized
+    std::chrono::steady_clock::time_point born_ = std::chrono::steady_clock::now();
 };
 
 }  // namespace manhattan::engine

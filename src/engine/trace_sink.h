@@ -1,0 +1,114 @@
+/// \file trace_sink.h
+/// Structured engine telemetry as a JSONL event stream: one self-contained
+/// JSON object per line, appended by whoever observes something (the sweep
+/// driver, its workers, a bench harness) and published to disk with the
+/// manifest's atomic idiom — write-temp + fsync + rename of the whole
+/// document — so a kill -9 at any instant leaves a file of complete,
+/// parseable lines (possibly missing the newest unpublished events, exactly
+/// like a checkpoint ledger).
+///
+/// Event vocabulary (docs/OBSERVABILITY.md pins the schema; the CI
+/// trace-validate job parses every line and checks the begin/end pairing):
+///   - every line:    "event", "seq" (dense, 0-based), "t" (seconds since
+///                    the sink was opened)
+///   - run_sweep:     sweep_begin/sweep_end (spec fingerprint, grid shape,
+///                    phase totals, pool utilization, metrics snapshot),
+///                    point_begin/point_end (aggregation bracket, in
+///                    expansion order), replica_begin/replica_end (per
+///                    freshly computed replica: seed, steps, wall seconds,
+///                    per-phase timings — replayed replicas emit nothing,
+///                    they were computed by an earlier process).
+///
+/// Thread-safe: emit() may be called from any worker; lines are serialized
+/// under one mutex (emission is per-replica rare, never per-step).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "util/telemetry.h"
+#include "util/timer.h"
+
+namespace manhattan::engine {
+
+struct pool_stats;
+
+/// One key plus a pre-rendered JSON value. Build with the static helpers —
+/// they own quoting/formatting so call sites stay one line per field.
+struct trace_field {
+    std::string key;
+    std::string rendered;  ///< valid JSON value text
+
+    [[nodiscard]] static trace_field num(std::string key, double value);
+    [[nodiscard]] static trace_field num(std::string key, std::uint64_t value);
+    [[nodiscard]] static trace_field boolean(std::string key, bool value);
+    [[nodiscard]] static trace_field str(std::string key, const std::string& value);
+    /// \p json must already be valid JSON (an object/array built by the
+    /// phases/metrics helpers below).
+    [[nodiscard]] static trace_field raw(std::string key, std::string json);
+};
+
+/// Render a phase profile as a JSON object:
+/// {"advance_s": ..., "grid_rebuild_s": ..., "scan_s": ..., "components_s":
+///  ..., "total_s": ..., "steps": <advance call count>}.
+[[nodiscard]] std::string phases_json(const util::phase_profile& profile);
+
+/// Render a metrics snapshot list as a JSON array of
+/// {"name", "kind", "value"} / {"name", "kind", "bounds", "counts"} objects.
+[[nodiscard]] std::string metrics_json(const std::vector<metric_snapshot>& snapshots);
+
+/// Render pool utilization as a JSON object ("workers", "tasks_run",
+/// "queue_wait_s", "busy_s" per worker, "busy_fraction", "alive_s").
+[[nodiscard]] std::string pool_json(const pool_stats& stats);
+
+/// The JSONL writer. Construction publishes an empty file (an unwritable
+/// destination fails before any work is spent — the atomic_file_sink rule);
+/// every \p publish_every emitted events the whole document-so-far is
+/// republished atomically, and flush() / destruction force a final publish.
+class trace_sink {
+ public:
+    /// Throws std::invalid_argument when \p path cannot be written.
+    explicit trace_sink(std::string path, std::size_t publish_every = 1);
+
+    /// Publishes any buffered events; failures are reported to stderr
+    /// rather than thrown (destructors must not throw).
+    ~trace_sink();
+
+    trace_sink(const trace_sink&) = delete;
+    trace_sink& operator=(const trace_sink&) = delete;
+
+    /// Append one event line (thread-safe). "event", "seq" and "t" are
+    /// added by the sink; \p fields follow in the given order.
+    void emit(const std::string& event, std::initializer_list<trace_field> fields);
+    void emit(const std::string& event, const std::vector<trace_field>& fields);
+
+    /// Force an atomic publish of everything emitted so far (thread-safe).
+    void flush();
+
+    /// Events emitted so far.
+    [[nodiscard]] std::size_t events() const;
+
+    /// Sweep-scoped event streams within one process share a sink; each
+    /// run_sweep call claims the next id to label its events (thread-safe).
+    [[nodiscard]] std::size_t next_sweep_id();
+
+ private:
+    void publish_locked();  ///< caller holds mutex_
+
+    std::string path_;
+    std::size_t publish_every_;
+    util::timer clock_;
+
+    mutable std::mutex mutex_;
+    std::string buffer_;       ///< complete lines only
+    std::size_t seq_ = 0;
+    std::size_t unpublished_ = 0;
+    std::size_t sweeps_ = 0;
+};
+
+}  // namespace manhattan::engine

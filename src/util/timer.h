@@ -9,18 +9,32 @@ namespace manhattan::util {
 /// Wall-clock stopwatch, started at construction.
 class timer {
  public:
-    timer() : start_(clock::now()) {}
+    timer() : start_(clock::now()), lap_(start_) {}
 
     /// Seconds elapsed since construction or last reset().
     [[nodiscard]] double seconds() const {
         return std::chrono::duration<double>(clock::now() - start_).count();
     }
 
-    void reset() { start_ = clock::now(); }
+    /// Seconds since the last lap() (or construction / reset()), and start
+    /// the next lap. seconds() keeps measuring from the overall start, so a
+    /// caller can interleave split times with a running total.
+    [[nodiscard]] double lap() {
+        const clock::time_point now = clock::now();
+        const double split = std::chrono::duration<double>(now - lap_).count();
+        lap_ = now;
+        return split;
+    }
+
+    void reset() {
+        start_ = clock::now();
+        lap_ = start_;
+    }
 
  private:
     using clock = std::chrono::steady_clock;
     clock::time_point start_;
+    clock::time_point lap_;
 };
 
 }  // namespace manhattan::util
