@@ -16,8 +16,17 @@
 
 #include <memory>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+
 #include "core/params.h"
 #include "core/scenario.h"
+#include "engine/error.h"
+#include "engine/fabric.h"
+#include "engine/fault.h"
 #include "engine/progress.h"
 #include "engine/runner.h"
 #include "engine/sink.h"
@@ -27,12 +36,42 @@
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/telemetry.h"
+#include "util/timer.h"
 
 namespace manhattan::bench {
 
 /// Print the experiment banner (id + which paper artifact it regenerates).
 inline void banner(const std::string& experiment_id, const std::string& artifact) {
     std::printf("## %s — %s\n\n", experiment_id.c_str(), artifact.c_str());
+}
+
+/// Shared exit-code contract of every bench binary (docs/WORKLOADS.md):
+///   0  success (and, for verdict benches, PASS)
+///   1  ran to completion but the paper's qualitative shape did not hold
+///   2  specification error (bad flags, malformed sweep spec)
+///   3  runtime failure
+///   4  I/O failure after retries
+///   5  corrupted persistent state (manifest/lease mismatch)
+///   6  partial result (e.g. sweep-merge without full coverage)
+/// Wrap the whole of main in guarded_main: it parses the CLI, runs \p body,
+/// and maps every escaping exception onto this taxonomy (engine/error.h) so
+/// scripts and CI can branch on *why* a bench failed, not just that it did.
+template <typename Fn>
+int guarded_main(int argc, char** argv, Fn&& body) {
+    try {
+        const util::cli_args args(argc, argv);
+        return body(args);
+    } catch (const engine::fabric_partial& e) {
+        std::fprintf(stderr, "partial: %s\n", e.what());
+        return engine::exit_partial;
+    } catch (const engine::error& e) {
+        std::fprintf(stderr, "error [%s]: %s\n", engine::errc_name(e.cls()), e.what());
+        return engine::exit_code(e.cls());
+    } catch (const std::exception& e) {
+        const engine::errc cls = engine::classify(e);
+        std::fprintf(stderr, "error [%s]: %s\n", engine::errc_name(cls), e.what());
+        return engine::exit_code(cls);
+    }
 }
 
 /// Diagnostic / progress output ("wrote results.csv", skipped-case notes,
@@ -253,17 +292,23 @@ void sharded_sample(engine::thread_pool& pool, std::size_t shards, std::uint64_t
 /// Checkpoint/restart knobs shared by every sweep binary (engine/manifest.h,
 /// docs/ENGINE.md): `--resume=PATH` arms checkpointing to PATH and resumes
 /// from it when the file exists; `--checkpoint-every=K` (default 1) spaces
-/// the ledger publishes; `--abort-after-replicas=K` is the CI resume smoke's
-/// crash injection (SIGKILL after K fresh replicas). Binaries that run
-/// several sweeps call next() once per run_sweep, in a fixed order — each
-/// sweep gets its own manifest (PATH, PATH.2, PATH.3, ...), so resuming a
-/// multi-sweep binary replays the earlier sweeps from their ledgers.
+/// the ledger publishes; `--abort-after-replicas=K` is a legacy alias for
+/// the structured fault harness — it arms the same SIGKILL-after-K-fresh-
+/// replicas crash as `MANHATTAN_FAULT=ledger.record:crash:K` (engine/fault.h).
+/// Binaries that run several sweeps call next() once per run_sweep, in a
+/// fixed order — each sweep gets its own manifest (PATH, PATH.2, PATH.3,
+/// ...), so resuming a multi-sweep binary replays the earlier sweeps from
+/// their ledgers.
 class checkpointer {
  public:
     explicit checkpointer(const util::cli_args& args)
         : path_(args.get_string("resume", "")),
-          every_(count_arg(args, "checkpoint-every", 1)),
-          abort_after_(count_arg(args, "abort-after-replicas", 0)) {}
+          every_(count_arg(args, "checkpoint-every", 1)) {
+        if (const std::size_t abort_after = count_arg(args, "abort-after-replicas", 0);
+            abort_after != 0) {
+            engine::fault::arm("ledger.record", engine::fault::action::crash, abort_after);
+        }
+    }
 
     /// Options for the next run_sweep call of this binary.
     [[nodiscard]] engine::checkpoint_options next() {
@@ -273,7 +318,6 @@ class checkpointer {
             opts.manifest_path =
                 sweep_ == 1 ? path_ : path_ + "." + std::to_string(sweep_);
             opts.checkpoint_every = every_;
-            opts.abort_after = abort_after_;
         }
         return opts;
     }
@@ -281,7 +325,6 @@ class checkpointer {
  private:
     std::string path_;
     std::size_t every_;
-    std::size_t abort_after_;
     std::size_t sweep_ = 0;
 };
 
@@ -338,6 +381,118 @@ class telemetry_set {
     std::optional<engine::trace_sink> trace_;
     std::unique_ptr<engine::progress_reporter> progress_;
 };
+
+/// Graceful-stop flag + signal handlers for fabric workers: SIGTERM / SIGINT
+/// request "checkpoint and exit" instead of dying mid-batch. Installed once
+/// (sweepd and fabric-armed benches call this before draining).
+inline const std::atomic<bool>* install_graceful_stop() {
+    static std::atomic<bool> stop{false};
+    static const auto handler = [](int) { stop.store(true, std::memory_order_relaxed); };
+    std::signal(SIGTERM, handler);
+    std::signal(SIGINT, handler);
+    return &stop;
+}
+
+/// Fault-tolerant multi-worker sweep knobs shared by sweepd and every sweep
+/// binary (engine/fabric.h, docs/FABRIC.md):
+///   --fabric=DIR              drain sweeps through fabric directory DIR
+///                             (DIR, DIR.2, ... for multi-sweep binaries,
+///                             mirroring checkpointer's manifest suffixes);
+///   --owner=NAME              stable worker id (default "w<pid>"; pass an
+///                             explicit name to resume a worker's ledger);
+///   --fabric-batch=K          (point, replica) pairs per lease at init (8);
+///   --lease-ttl-ms=MS         heartbeat staleness bound (10000);
+///   --poll-ms=MS              claim-scan / wait interval (200);
+///   --batch-attempts=K        lease reclaims before batch quarantine (3);
+///   --replica-attempts=K      in-process tries per replica (3);
+///   --replica-deadline-ms=MS  stuck-replica watchdog (0 = off).
+/// When --fabric= is absent, active() is false and binaries fall back to
+/// plain run_sweep (run_sweep_auto below automates the dispatch).
+class fabric_set {
+ public:
+    explicit fabric_set(const util::cli_args& args) : active_(args.has("fabric")) {
+        opts_.dir = args.get_string("fabric", "");
+        opts_.owner = args.get_string("owner", "w" + std::to_string(::getpid()));
+        batch_ = count_arg(args, "fabric-batch", 8);
+        opts_.lease_ttl = std::chrono::milliseconds(count_arg(args, "lease-ttl-ms", 10'000));
+        opts_.poll = std::chrono::milliseconds(count_arg(args, "poll-ms", 200));
+        opts_.max_batch_attempts = count_arg(args, "batch-attempts", 3);
+        opts_.max_replica_attempts = count_arg(args, "replica-attempts", 3);
+        opts_.replica_deadline =
+            std::chrono::milliseconds(count_arg(args, "replica-deadline-ms", 0));
+        if (active_) {
+            opts_.stop = install_graceful_stop();
+        }
+    }
+
+    [[nodiscard]] bool active() const noexcept { return active_; }
+    [[nodiscard]] const engine::fabric_options& options() const noexcept { return opts_; }
+    [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
+
+    /// Drain one sweep through the fabric and return its rows exactly as
+    /// run_sweep would: init the directory (idempotent — racing workers
+    /// agree on the spec bytes), claim and run batches until every worker's
+    /// records cover the grid, then merge the ledgers and re-aggregate the
+    /// rows into \p sinks. Byte-identical output to a single-process run.
+    /// Throws engine::fabric_partial when a graceful stop or quarantined
+    /// work left the grid incomplete (→ exit_partial via guarded_main).
+    engine::sweep_result run(const engine::sweep_spec& spec,
+                             const engine::run_options& run_opts,
+                             std::span<engine::result_sink* const> sinks) {
+        const util::timer clock;
+        engine::fabric_options opts = opts_;
+        ++sweep_;
+        if (sweep_ > 1) {
+            opts.dir += "." + std::to_string(sweep_);
+        }
+        engine::init_fabric(opts.dir, spec, batch_);
+        const engine::fabric_report report = engine::run_fabric_worker(opts, run_opts);
+        if (!report.complete) {
+            throw engine::fabric_partial(
+                "fabric '" + opts.dir + "' stopped before full coverage (" +
+                std::to_string(report.fresh) + " fresh replicas this worker); rerun or "
+                "start more workers to finish");
+        }
+        const engine::fabric_spec fspec = engine::load_fabric(opts.dir);
+        const engine::fabric_merge merged = engine::merge_fabric(opts.dir, fspec);
+        if (!merged.complete()) {
+            throw engine::fabric_partial(
+                "fabric '" + opts.dir + "' has " +
+                std::to_string(merged.quarantined.size()) + " quarantined and " +
+                std::to_string(merged.missing.size()) +
+                " missing replicas; inspect quarantine/ or merge with sweep-merge "
+                "--allow-partial");
+        }
+        engine::memory_sink rows;
+        std::vector<engine::result_sink*> all(sinks.begin(), sinks.end());
+        all.push_back(&rows);
+        engine::replay_rows(fspec, merged, all);
+        engine::sweep_result result;
+        result.rows = rows.rows();
+        result.wall_seconds = clock.seconds();
+        return result;
+    }
+
+ private:
+    bool active_;
+    engine::fabric_options opts_;
+    std::size_t batch_ = 8;
+    std::size_t sweep_ = 0;
+};
+
+/// Dispatch one sweep to the fabric (when --fabric= is set) or to plain
+/// run_sweep. The sweep benches call this everywhere they used to call
+/// run_sweep, so every one of them can be a fault-tolerant worker.
+inline engine::sweep_result run_sweep_auto(fabric_set& fabric,
+                                           const engine::sweep_spec& spec,
+                                           const engine::run_options& opts,
+                                           std::span<engine::result_sink* const> sinks,
+                                           const engine::checkpoint_options& checkpoint = {}) {
+    if (fabric.active()) {
+        return fabric.run(spec, opts, sinks);
+    }
+    return engine::run_sweep(spec, opts, sinks, checkpoint);
+}
 
 /// The sinks a sweep binary feeds: add your own (usually a memory_sink for
 /// verdict logic) and `--csv=FILE` / `--json=FILE` attach file sinks too.

@@ -32,8 +32,9 @@ double mean_time(const core::scenario& sc, std::size_t reps,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 16'000));
     const double c1 = args.get_double("c1", 3.0);
     const std::size_t reps = bench::replicas(args, 3);
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
     // sweep its own manifest (PATH, PATH.2).
     bench::sink_set file_sinks(args);
     bench::checkpointer ckpt(args);
+    bench::fabric_set fabric(args);  // --fabric= = multi-worker drain
     bench::telemetry_set telem(args);
 
     // (1) propagation semantics, as a mode-axis sweep.
@@ -66,7 +68,7 @@ int main(int argc, char** argv) {
     engine::memory_sink prop_rows;
     engine::run_options prop_opts = opts;
     telem.arm(prop_opts, prop_spec);
-    (void)engine::run_sweep(prop_spec, prop_opts, file_sinks.with(&prop_rows), ckpt.next());
+    (void)bench::run_sweep_auto(fabric, prop_spec, prop_opts, file_sinks.with(&prop_rows), ckpt.next());
     telem.sweep_done();
     const double one_hop = prop_rows.rows()[0].summary.mean;
     const double per_component = prop_rows.rows()[1].summary.mean;
@@ -127,7 +129,7 @@ int main(int argc, char** argv) {
     engine::memory_sink gossip_rows;
     engine::run_options gossip_opts = opts;
     telem.arm(gossip_opts, gossip_spec);
-    (void)engine::run_sweep(gossip_spec, gossip_opts, file_sinks.with(&gossip_rows),
+    (void)bench::run_sweep_auto(fabric, gossip_spec, gossip_opts, file_sinks.with(&gossip_rows),
                             ckpt.next());
     telem.sweep_done();
     for (const auto& row : gossip_rows.rows()) {
@@ -146,4 +148,10 @@ int main(int argc, char** argv) {
                    "component-flooding lower-bounds the protocol; shrinking R to the "
                    "meeting radius or dropping transmissions only slows flooding");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -16,8 +16,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 16'000));
     const double c1 = args.get_double("c1", 3.0);
     const std::size_t reps = bench::replicas(args, 3);
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     const auto opts = bench::engine_options(args);
     bench::checkpointer ckpt(args);  // one manifest per placement sweep
+    bench::fabric_set fabric(args);  // --fabric= = multi-worker drain
     bench::telemetry_set telem(args);
 
     // --source= collapses the center/corner contrast to one pinned placement.
@@ -52,7 +54,7 @@ int main(int argc, char** argv) {
         engine::memory_sink memory;
         engine::run_options sweep_opts = opts;
         telem.arm(sweep_opts, spec);
-        (void)engine::run_sweep(spec, sweep_opts, sinks.with(&memory), ckpt.next());
+        (void)bench::run_sweep_auto(fabric, spec, sweep_opts, sinks.with(&memory), ckpt.next());
         telem.sweep_done();
         const bool corner = placement == core::source_placement::corner_most;
         for (const auto& row : memory.rows()) {
@@ -82,4 +84,10 @@ int main(int argc, char** argv) {
                    "corner-seeded MRWP flooding within a small constant of the uniform-"
                    "stationary baselines (the paper's 'suburb is not a bottleneck')");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -14,8 +14,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const std::size_t reps = bench::replicas(args, 3);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     const auto opts = bench::engine_options(args);
     bench::checkpointer ckpt(args);  // one manifest per n sweep
+    bench::fabric_set fabric(args);  // --fabric= = multi-worker drain
     bench::telemetry_set telem(args);
     const double factors[] = {0.45, 1.0, 1.3};
 
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
         engine::memory_sink memory;
         engine::run_options sweep_opts = opts;
         telem.arm(sweep_opts, spec);
-        (void)engine::run_sweep(spec, sweep_opts, sinks.with(&memory), ckpt.next());
+        (void)bench::run_sweep_auto(fabric, spec, sweep_opts, sinks.with(&memory), ckpt.next());
         telem.sweep_done();
 
         for (const auto& row : memory.rows()) {
@@ -75,4 +77,10 @@ int main(int argc, char** argv) {
                    "at or above the Corollary 12 radius the Suburb is empty and total "
                    "flooding meets the 18 L/R bound");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -37,8 +37,9 @@ struct conn_row {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 20'000));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
@@ -102,4 +103,10 @@ int main(int argc, char** argv) {
                    "snapshot lags behind the uniform baseline" +
                        std::string(gap_seen ? " (gap observed in-sweep)" : ""));
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

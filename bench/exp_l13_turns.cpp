@@ -17,8 +17,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 10'000));
     const auto agents = static_cast<std::size_t>(args.get_int("agents", 2000));
     const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 8));
@@ -71,4 +72,10 @@ int main(int argc, char** argv) {
     std::printf("%s", t.markdown().c_str());
     bench::verdict(all_ok, "turn counts stay within the Lemma 13 envelope (w.h.p. rate)");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -23,8 +23,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 10'000));
     const auto agents = static_cast<std::size_t>(args.get_int("agents", 12'000));
     const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 8));
@@ -94,4 +95,10 @@ int main(int argc, char** argv) {
                    "every qualifying corner agent performs an inward segment meeting the "
                    "Lemma 14 guarantee");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -32,8 +32,9 @@ struct suburb_row {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
 
     bench::banner("L15", "Lemma 15: Suburb diameter bounded by S; four corner components");
 
@@ -86,4 +87,10 @@ int main(int argc, char** argv) {
                    "suburb extent <= S in every configuration; in the corner regime "
                    "(mid-edge cells Central) the suburb forms exactly four components");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

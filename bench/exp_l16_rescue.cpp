@@ -19,8 +19,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 50'000));
     const double c1 = args.get_double("c1", 2.0);
     const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 2));
@@ -78,4 +79,10 @@ int main(int argc, char** argv) {
                    "every suburb resident meets a Central-Zone resident well inside the "
                    "Lemma 16 window");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

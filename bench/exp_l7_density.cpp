@@ -34,8 +34,9 @@ struct density_row {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 20'000));
     const auto steps = static_cast<std::size_t>(args.get_int("steps", 200));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -109,4 +110,10 @@ int main(int argc, char** argv) {
                    "the paper's per-step min-core guarantee needs the asymptotic constants "
                    "(see EXPERIMENTS.md)");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

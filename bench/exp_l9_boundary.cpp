@@ -128,8 +128,9 @@ double min_ratio_checkerboard(const core::cell_partition& cp) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 20'000));
     const double c1 = args.get_double("c1", 3.0);
     const auto trials = static_cast<std::size_t>(args.get_int("trials", 2000));
@@ -167,4 +168,10 @@ int main(int argc, char** argv) {
                 cp.grid().cells_per_side(), util::fmt(global_min).c_str());
     bench::verdict(all_ok, "expansion ratio >= 1 for every adversary family");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

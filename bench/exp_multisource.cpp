@@ -25,8 +25,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 16'000));
     const double c1 = args.get_double("c1", 3.0);
     const std::size_t reps = bench::replicas(args, 3);
@@ -55,10 +56,11 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     sinks.add(&memory);
     bench::checkpointer ckpt(args);
+    bench::fabric_set fabric(args);  // --fabric= = multi-worker drain
     bench::telemetry_set telem(args);
     engine::run_options opts = bench::engine_options(args);
     telem.arm(opts, spec);
-    (void)engine::run_sweep(spec, opts, sinks.span(), ckpt.next());
+    (void)bench::run_sweep_auto(fabric, spec, opts, sinks.span(), ckpt.next());
     telem.sweep_done();
 
     util::table t({"sources k", "mean T", "sd", "95% CI", "T(k)/T(1)", "done"});
@@ -90,4 +92,10 @@ int main(int argc, char** argv) {
                    "flooding time is non-increasing in the source count (extra "
                    "simultaneous sources never slow the spread)");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

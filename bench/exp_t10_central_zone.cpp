@@ -14,8 +14,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const std::size_t reps = bench::replicas(args, 2);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     const auto opts = bench::engine_options(args);
     bench::checkpointer ckpt(args);  // one manifest per placement sweep
+    bench::fabric_set fabric(args);  // --fabric= = multi-worker drain
     bench::telemetry_set telem(args);
 
     // --source= collapses the center/corner contrast to one pinned placement.
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
         engine::memory_sink memory;
         engine::run_options sweep_opts = opts;
         telem.arm(sweep_opts, spec);
-        (void)engine::run_sweep(spec, sweep_opts, sinks.with(&memory), ckpt.next());
+        (void)bench::run_sweep_auto(fabric, spec, sweep_opts, sinks.with(&memory), ckpt.next());
         telem.sweep_done();
         for (const auto& row : memory.rows()) {
             const auto& p = row.point.sc.params;
@@ -65,4 +67,10 @@ int main(int argc, char** argv) {
     std::printf("%s", t.markdown().c_str());
     bench::verdict(all_ok, "every configuration informs the whole Central Zone within 18 L/R");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -52,8 +52,9 @@ snapshot_check check_event_b(std::span<const geom::vec2> positions, double d) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 4000));
     const auto attempts = static_cast<std::size_t>(args.get_int("attempts", 600));
     const auto runs = static_cast<std::size_t>(args.get_int("runs", 4));
@@ -141,4 +142,10 @@ int main(int argc, char** argv) {
                    "event B occurs at its analytic Theta(1) rate; conditional informing time "
                    "respects the (2d-R)/(2v) gate and grows as v shrinks");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -20,8 +20,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const double side = args.get_double("side", 100.0);
     const auto cells = static_cast<std::int32_t>(args.get_int("grid", 10));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -78,4 +79,10 @@ int main(int argc, char** argv) {
                    "chi-square flat below critical at every sample size while the uniform "
                    "straw-man diverges linearly");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

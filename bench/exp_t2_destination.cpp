@@ -19,8 +19,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const double side = args.get_double("side", 100.0);
     const auto want_hits = static_cast<std::size_t>(args.get_int("hits", 6000));
     const double box = args.get_double("box", side / 40.0);
@@ -102,4 +103,10 @@ int main(int argc, char** argv) {
                    "conditional cross mass ~ 1/2 and per-segment/per-quadrant masses match "
                    "the closed forms within sampling error (< 0.03)");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -17,8 +17,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const double c1 = args.get_double("c1", 3.0);
     const std::size_t reps = bench::replicas(args, 3);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -50,10 +51,11 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     sinks.add(&memory);
     bench::checkpointer ckpt(args);
+    bench::fabric_set fabric(args);  // --fabric= = multi-worker drain
     bench::telemetry_set telem(args);
     engine::run_options opts = bench::engine_options(args);
     telem.arm(opts, spec);
-    (void)engine::run_sweep(spec, opts, sinks.span(), ckpt.next());
+    (void)bench::run_sweep_auto(fabric, spec, opts, sinks.span(), ckpt.next());
     telem.sweep_done();
 
     util::table t({"n", "L", "R", "mean T", "sd", "L/R", "T / (L/R)"});
@@ -78,4 +80,10 @@ int main(int argc, char** argv) {
     bench::verdict(s.max <= 2.0 * s.min && std::abs(fit.exponent) < 0.25,
                    "normalised flooding time T/(L/R) flat across a 16x range of n");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

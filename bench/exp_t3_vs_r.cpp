@@ -16,8 +16,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 32'000));
     const std::size_t reps = bench::replicas(args, 3);
     const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -38,10 +39,11 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     sinks.add(&memory);
     bench::checkpointer ckpt(args);
+    bench::fabric_set fabric(args);  // --fabric= = multi-worker drain
     bench::telemetry_set telem(args);
     engine::run_options opts = bench::engine_options(args);
     telem.arm(opts, spec);
-    (void)engine::run_sweep(spec, opts, sinks.span(), ckpt.next());
+    (void)bench::run_sweep_auto(fabric, spec, opts, sinks.span(), ckpt.next());
     telem.sweep_done();
 
     util::table t({"c1", "R", "v", "mean T", "sd", "L/R", "S/v", "18L/R + 30 S/v", "T ok"});
@@ -69,4 +71,10 @@ int main(int argc, char** argv) {
     bench::verdict(decreasing && under_envelope,
                    "flooding time decreases in R and stays under the Theorem 3 envelope");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -19,8 +19,9 @@
 
 using namespace manhattan;
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto n = static_cast<std::size_t>(args.get_int("n", 100'000));
     const double c1 = args.get_double("c1", 1.2);
     const std::size_t reps = bench::replicas(args, 2);
@@ -45,10 +46,11 @@ int main(int argc, char** argv) {
     bench::sink_set sinks(args);
     sinks.add(&memory);
     bench::checkpointer ckpt(args);
+    bench::fabric_set fabric(args);  // --fabric= = multi-worker drain
     bench::telemetry_set telem(args);
     engine::run_options opts = bench::engine_options(args);
     telem.arm(opts, spec);
-    (void)engine::run_sweep(spec, opts, sinks.span(), ckpt.next());
+    (void)bench::run_sweep_auto(fabric, spec, opts, sinks.span(), ckpt.next());
     telem.sweep_done();
 
     util::table t({"v", "mean T", "cz T", "suburb tail (T - czT)", "1/v"});
@@ -81,4 +83,10 @@ int main(int argc, char** argv) {
     bench::verdict(cz_flat && tail_grows && fit.r2 > 0.7 && fit.slope > 0.0,
                    "CZ time flat in v; suburb tail affine in 1/v with positive slope");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

@@ -28,8 +28,9 @@ using namespace manhattan;
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const auto samples = static_cast<std::size_t>(args.get_int("samples", 400'000));
     const auto grid_cells = static_cast<std::size_t>(args.get_int("grid", 36));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -102,4 +103,10 @@ int main(int argc, char** argv) {
     bench::verdict(contrast && std::abs(density::cross_mass(probe, side) - 0.5) < 1e-12,
                    "center/corner contrast reproduced; cross mass = 1/2 exactly");
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

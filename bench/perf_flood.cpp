@@ -233,8 +233,9 @@ void write_json(std::ostream& out, const std::vector<perf_row>& rows, double c1,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-    const util::cli_args args(argc, argv);
+namespace {
+
+int run(const util::cli_args& args) {
     const double c1 = args.get_double("c1", 1.0);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const std::size_t reps = bench::replicas(args, 3);
@@ -415,4 +416,10 @@ int main(int argc, char** argv) {
                     util::fmt(best_speedup).c_str());
     }
     return identical && baseline_ok && speedup_ok && overhead_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return manhattan::bench::guarded_main(argc, argv, run);
 }

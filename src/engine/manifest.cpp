@@ -5,13 +5,13 @@
 
 #include <bit>
 #include <cinttypes>
-#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <sstream>
 
 #include "core/scenario.h"
+#include "engine/fault.h"
 
 namespace manhattan::engine {
 
@@ -162,10 +162,14 @@ std::uint64_t sweep_fingerprint(const sweep_spec& spec) {
 }
 
 void atomic_write_file(const std::string& path, const std::string& contents) {
+    // All failures below raise transient io errors: an interrupted syscall,
+    // a momentarily full descriptor table or a busy file may clear on retry,
+    // and a genuinely broken destination fails identically a few hundred
+    // milliseconds later (engine::with_retry caps the total).
     const std::string tmp = path + ".tmp";
     std::FILE* file = std::fopen(tmp.c_str(), "wb");
     if (file == nullptr) {
-        throw std::runtime_error("cannot open '" + tmp + "' for writing");
+        throw error(errc::io, "cannot open '" + tmp + "' for writing", true);
     }
     const bool wrote = contents.empty() ||
                        std::fwrite(contents.data(), 1, contents.size(), file) ==
@@ -177,11 +181,11 @@ void atomic_write_file(const std::string& path, const std::string& contents) {
     std::fclose(file);
     if (!(wrote && flushed && synced)) {
         std::remove(tmp.c_str());
-        throw std::runtime_error("write failed for '" + tmp + "'");
+        throw error(errc::io, "write failed for '" + tmp + "'", true);
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
-        throw std::runtime_error("cannot rename '" + tmp + "' to '" + path + "'");
+        throw error(errc::io, "cannot rename '" + tmp + "' to '" + path + "'", true);
     }
     // Best-effort directory sync so the rename itself survives a power cut.
     const std::size_t slash = path.find_last_of('/');
@@ -313,11 +317,7 @@ run_manifest parse_manifest(const std::string& text) {
 }
 
 void save_manifest(const run_manifest& manifest, const std::string& path) {
-    try {
-        atomic_write_file(path, serialize_manifest(manifest));
-    } catch (const std::runtime_error& e) {
-        throw manifest_error(std::string{"manifest: "} + e.what());
-    }
+    atomic_write_file(path, serialize_manifest(manifest));
 }
 
 run_manifest load_manifest(const std::string& path) {
@@ -335,11 +335,10 @@ run_manifest load_manifest(const std::string& path) {
 }
 
 checkpoint_ledger::checkpoint_ledger(run_manifest manifest, std::string path,
-                                     std::size_t checkpoint_every, std::size_t abort_after)
+                                     std::size_t checkpoint_every)
     : manifest_(std::move(manifest)),
       path_(std::move(path)),
-      checkpoint_every_(checkpoint_every == 0 ? 1 : checkpoint_every),
-      abort_after_(abort_after) {}
+      checkpoint_every_(checkpoint_every == 0 ? 1 : checkpoint_every) {}
 
 void checkpoint_ledger::record(std::size_t point, std::size_t replica, replica_stat stat) {
     std::string snapshot;
@@ -348,16 +347,16 @@ void checkpoint_ledger::record(std::size_t point, std::size_t replica, replica_s
         const std::lock_guard<std::mutex> lock(state_mutex_);
         manifest_.records.push_back({point, replica, std::move(stat)});
         ++unsaved_;
-        ++fresh_;
-        if (abort_after_ != 0 && fresh_ >= abort_after_) {
-            // Crash injection for the CI resume smoke: publish while still
-            // holding the state lock (keeping the on-disk record count
-            // exactly abort_after — no concurrent record can slip in), then
-            // die exactly like an external `kill -9`: no stack unwinding,
-            // no sink finish(), no final flush.
-            publish(serialize_manifest(manifest_), manifest_.records.size());
-            (void)std::raise(SIGKILL);
+        const fault::outcome due = fault::hit("ledger.record");
+        if (due.act == fault::action::crash) {
+            // Crash injection for the CI resume/chaos smokes: publish while
+            // still holding the state lock (keeping the on-disk record count
+            // exactly the fatal hit number — no concurrent record can slip
+            // in), then die exactly like an external `kill -9`: no stack
+            // unwinding, no sink finish(), no final flush.
+            publish(serialize_manifest(manifest_), manifest_.records.size(), true);
         }
+        fault::act("ledger.record", due);  // crash / fail / delay
         if (unsaved_ >= checkpoint_every_) {
             snapshot = serialize_manifest(manifest_);
             generation = manifest_.records.size();
@@ -365,7 +364,7 @@ void checkpoint_ledger::record(std::size_t point, std::size_t replica, replica_s
         }
     }
     if (!snapshot.empty()) {
-        publish(snapshot, generation);
+        publish(snapshot, generation, false);
     }
 }
 
@@ -378,10 +377,11 @@ void checkpoint_ledger::flush() {
         generation = manifest_.records.size();
         unsaved_ = 0;
     }
-    publish(snapshot, generation);
+    publish(snapshot, generation, true);
 }
 
-void checkpoint_ledger::publish(const std::string& snapshot, std::size_t generation) {
+void checkpoint_ledger::publish(const std::string& snapshot, std::size_t generation,
+                                bool surface_errors) {
     const std::lock_guard<std::mutex> lock(io_mutex_);
     // A concurrent thread may already have landed a snapshot with more
     // records; never overwrite newer state with older. Equal generations
@@ -390,9 +390,23 @@ void checkpoint_ledger::publish(const std::string& snapshot, std::size_t generat
         return;
     }
     try {
-        atomic_write_file(path_, snapshot);
-    } catch (const std::runtime_error& e) {
-        throw manifest_error(std::string{"manifest: "} + e.what());
+        with_retry(backoff_policy{}, "manifest publish", [&] {
+            fault::inject("ledger.publish");
+            atomic_write_file(path_, snapshot);
+        });
+    } catch (const error&) {
+        if (surface_errors) {
+            throw;
+        }
+        // Report and keep sweeping: the records stay in the in-memory
+        // manifest, so the next checkpoint retries the full snapshot and a
+        // recovered filesystem loses nothing. Only the final flush() makes
+        // a persistent failure fatal.
+        std::fprintf(stderr,
+                     "manifest: checkpoint publish of '%s' failed (will retry at the "
+                     "next checkpoint)\n",
+                     path_.c_str());
+        return;
     }
     published_generation_ = generation;
 }

@@ -27,15 +27,19 @@
 #include <string>
 #include <vector>
 
+#include "engine/error.h"
 #include "engine/sweep.h"
 
 namespace manhattan::engine {
 
-/// Raised on a truncated, corrupt or mismatched manifest (and on manifest
-/// I/O failures). The message names the file and what disagreed.
-class manifest_error : public std::runtime_error {
+/// Raised on a truncated, corrupt or mismatched manifest. A state error in
+/// the engine taxonomy (engine/error.h): durable state disagrees with what
+/// this binary expects, and no retry can fix that. The message names the
+/// file and what disagreed. (Manifest *I/O* failures raise engine::error
+/// with class io instead — those may be transient and are retried.)
+class manifest_error : public error {
  public:
-    using std::runtime_error::runtime_error;
+    explicit manifest_error(const std::string& what) : error(errc::state, what) {}
 };
 
 /// Bumped whenever the engine's per-replica output semantics change (row
@@ -103,7 +107,9 @@ struct run_manifest {
 
 /// Publish \p contents to \p path atomically: write path.tmp, fsync, rename
 /// over path (then best-effort fsync the directory). A reader or a crash
-/// never observes a partial file. Throws std::runtime_error on I/O failure.
+/// never observes a partial file. Throws engine::error (class io, marked
+/// transient) on failure — wrap calls in with_retry to ride out transient
+/// filesystem hiccups.
 void atomic_write_file(const std::string& path, const std::string& contents);
 
 /// Serialize / parse the manifest text format (see docs/ENGINE.md). Doubles
@@ -111,13 +117,27 @@ void atomic_write_file(const std::string& path, const std::string& contents);
 [[nodiscard]] std::string serialize_manifest(const run_manifest& manifest);
 [[nodiscard]] run_manifest parse_manifest(const std::string& text);
 
-/// Atomic save (see atomic_write_file). Throws manifest_error on failure.
+/// Atomic save (see atomic_write_file). Throws engine::error (class io) on
+/// an I/O failure.
 void save_manifest(const run_manifest& manifest, const std::string& path);
 
 /// Load and strictly validate a manifest file. Throws manifest_error on a
 /// missing, truncated or corrupt file (truncation is caught by the trailing
 /// record-count line that serialize_manifest always writes).
 [[nodiscard]] run_manifest load_manifest(const std::string& path);
+
+/// Reduce one scenario run's outcome (which carries n-sized vectors) to the
+/// scalars its sweep row aggregates — the ledger's replica_stat. The single
+/// definition run_sweep and the fabric workers share, so a record is
+/// bit-identical no matter which process computed it.
+[[nodiscard]] replica_stat reduce_outcome(const core::scenario_outcome& out);
+
+/// Aggregate one grid point's replica stats into its sweep row — the exact
+/// reduction run_sweep performs, exposed so a resumed, merged or fabric-
+/// drained sweep re-derives rows bit-identical to an uninterrupted run
+/// (stats must be in replica order, one per repetition).
+[[nodiscard]] sweep_row aggregate_sweep_row(const sweep_point& point,
+                                            std::span<const replica_stat> stats);
 
 /// Thread-safe checkpoint writer for one run_sweep call: workers record()
 /// replicas as they complete, and every `checkpoint_every` fresh records the
@@ -130,18 +150,29 @@ void save_manifest(const run_manifest& manifest, const std::string& path);
 /// ms-scale) outside it, so other workers keep recording — and simulating —
 /// while a checkpoint lands on disk. A publish generation counter keeps an
 /// older snapshot from overwriting a newer one.
+///
+/// Failure handling: each publish retries transient I/O errors with
+/// exponential backoff (engine::with_retry). A mid-run publish that still
+/// fails is *reported and skipped* — the records stay in memory and the next
+/// publish retries the full snapshot, so a recovered disk loses nothing and
+/// a broken one never aborts the sweep mid-flight. Only flush() (the final,
+/// driver-side publish) surfaces the failure to the caller.
+///
+/// Fault injection (engine/fault.h): record() hits site "ledger.record" —
+/// a crash rule publishes the ledger under the state lock first, so the
+/// on-disk record count is exactly the fatal hit number (the CI resume
+/// smoke's SIGKILL, formerly --abort-after-replicas) — and every publish
+/// hits "ledger.publish" inside its retry loop.
 class checkpoint_ledger {
  public:
-    /// \p abort_after is crash injection for the CI resume smoke: after that
-    /// many fresh records have been published, the process raises SIGKILL —
-    /// no destructors, no sink finish, exactly like a mid-run kill (0 = off).
     checkpoint_ledger(run_manifest manifest, std::string path,
-                      std::size_t checkpoint_every, std::size_t abort_after = 0);
+                      std::size_t checkpoint_every);
 
     /// Record one completed replica (any worker thread).
     void record(std::size_t point, std::size_t replica, replica_stat stat);
 
-    /// Publish the current state unconditionally (driver thread).
+    /// Publish the current state unconditionally (driver thread). Throws
+    /// engine::error (class io) when the publish fails even after retries.
     void flush();
 
     /// Driver-only (after workers drained): the accumulated manifest.
@@ -150,15 +181,16 @@ class checkpoint_ledger {
  private:
     /// Atomically write \p snapshot (serialized at generation \p generation,
     /// i.e. with that many records) unless a newer snapshot already landed.
-    void publish(const std::string& snapshot, std::size_t generation);
+    /// \p surface_errors: rethrow a persistent publish failure (flush) vs
+    /// report-and-continue (worker-side checkpoints).
+    void publish(const std::string& snapshot, std::size_t generation,
+                 bool surface_errors);
 
     std::mutex state_mutex_;
     run_manifest manifest_;
     std::string path_;
     std::size_t checkpoint_every_;
-    std::size_t abort_after_;
     std::size_t unsaved_ = 0;  ///< records since the last publish snapshot
-    std::size_t fresh_ = 0;    ///< records added this process (abort_after clock)
 
     std::mutex io_mutex_;
     std::size_t published_generation_ = 0;

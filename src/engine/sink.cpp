@@ -1,10 +1,13 @@
 #include "engine/sink.h"
 
 #include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "engine/error.h"
+#include "engine/fault.h"
 #include "engine/manifest.h"
 #include "mobility/factory.h"
 
@@ -172,7 +175,7 @@ atomic_file_sink::atomic_file_sink(std::string path, format fmt, bool per_replic
         json_.emplace(buffer_, per_replica_times);
     }
     try {
-        publish(false);
+        publish(false, true);
     } catch (const std::runtime_error& e) {
         throw std::invalid_argument("atomic_file_sink: cannot write '" + path_ +
                                     "': " + e.what());
@@ -185,7 +188,12 @@ void atomic_file_sink::on_row(const sweep_row& row) {
     } else {
         json_->on_row(row);
     }
-    publish(false);
+    // Mid-sweep publishes degrade on persistent failure instead of throwing:
+    // the replicas behind this row are already computed, and losing them to
+    // a flaky disk would be strictly worse than a stale file on disk. The
+    // buffered document keeps growing, so the next row (or finish()) retries
+    // the complete state.
+    publish(false, false);
 }
 
 void atomic_file_sink::finish() {
@@ -196,17 +204,34 @@ void atomic_file_sink::finish() {
     if (json_) {
         json_->finish();
     }
-    publish(true);
+    publish(true, true);
+    degraded_ = false;  // the final state landed after all
 }
 
-void atomic_file_sink::publish(bool closed) {
+void atomic_file_sink::publish(bool closed, bool surface_errors) {
     std::string text = buffer_.str();
     if (format_ == format::json && !closed) {
         // Close the partial document so every published state parses; the
         // terminator matches what json_sink::finish() will eventually write.
         text += text.empty() ? "{\"rows\": [\n]}\n" : "\n]}\n";
     }
-    atomic_write_file(path_, text);
+    try {
+        with_retry(backoff_policy{}, "sink publish", [&] {
+            fault::inject("sink.publish");
+            atomic_write_file(path_, text);
+        });
+    } catch (const error&) {
+        if (surface_errors) {
+            throw;
+        }
+        if (!degraded_) {
+            degraded_ = true;
+            std::fprintf(stderr,
+                         "sink: publish of '%s' failed after retries; rows are "
+                         "retained and republished on the next row / finish\n",
+                         path_.c_str());
+        }
+    }
 }
 
 table_sink::table_sink(std::ostream& out)

@@ -87,6 +87,14 @@ class json_sink final : public result_sink {
 /// half-written row. Published JSON is additionally *closed* in every state
 /// (the partial document gets the "\n]}\n" terminator a finish() would
 /// write), so a killed sweep always leaves parseable output behind.
+///
+/// Failure handling: every publish retries transient I/O errors with
+/// exponential backoff (engine/error.h; fault site "sink.publish"). A
+/// publish that still fails mid-sweep *degrades* the sink — reported once on
+/// stderr, rows keep accumulating in the buffer, and each subsequent row
+/// retries the full document — instead of aborting a sweep whose replicas
+/// are already computed. Only finish() makes a persistent failure fatal, by
+/// throwing engine::error (class io) after the final attempt.
 class atomic_file_sink final : public result_sink {
  public:
     enum class format : std::uint8_t { csv, json };
@@ -99,8 +107,12 @@ class atomic_file_sink final : public result_sink {
     void on_row(const sweep_row& row) override;
     void finish() override;  ///< final publish; idempotent
 
+    /// Did a mid-sweep publish exhaust its retries? (The buffered document
+    /// is still intact; finish() retries it one final time.)
+    [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+
  private:
-    void publish(bool closed);
+    void publish(bool closed, bool surface_errors);
 
     std::string path_;
     format format_;
@@ -108,6 +120,7 @@ class atomic_file_sink final : public result_sink {
     std::optional<csv_sink> csv_;
     std::optional<json_sink> json_;
     bool finished_ = false;
+    bool degraded_ = false;
 };
 
 /// Markdown table for terminal reports (printed by finish()).

@@ -163,11 +163,9 @@ std::vector<sweep_point> sweep_spec::expand() const {
     return points;
 }
 
-namespace {
-
-/// Reduce one scenario_outcome (which carries n-sized vectors) to the
-/// scalars its sweep row aggregates — the ledger's replica_stat. Workers do
-/// this immediately, so a big sweep's memory stays O(points x reps) scalars.
+/// Workers reduce outcomes immediately, so a big sweep's memory stays
+/// O(points x reps) scalars (declared in manifest.h; fabric workers share
+/// this definition).
 replica_stat reduce_outcome(const core::scenario_outcome& out) {
     replica_stat stat{static_cast<double>(out.flood.flooding_time), out.flood.completed,
                       out.flood.central_zone_informed_step, out.suburb_diameter,
@@ -184,6 +182,8 @@ replica_stat reduce_outcome(const core::scenario_outcome& out) {
     }
     return stat;
 }
+
+namespace {
 
 /// Load (or initialise) the checkpoint ledger for this sweep. A pre-existing
 /// manifest is validated against the spec fingerprint and grid shape — a
@@ -223,11 +223,57 @@ std::unique_ptr<checkpoint_ledger> open_ledger(const checkpoint_options& checkpo
     }
     return std::make_unique<checkpoint_ledger>(std::move(manifest),
                                                checkpoint.manifest_path,
-                                               checkpoint.checkpoint_every,
-                                               checkpoint.abort_after);
+                                               checkpoint.checkpoint_every);
 }
 
 }  // namespace
+
+sweep_row aggregate_sweep_row(const sweep_point& point,
+                              std::span<const replica_stat> stats) {
+    const std::size_t reps = stats.size();
+    sweep_row row;
+    row.point = point;
+    row.times.reserve(reps);
+    std::size_t completed = 0;
+    double cz_sum = 0.0;
+    double cz_max = 0.0;
+    std::size_t cz_count = 0;
+    for (const auto& stat : stats) {
+        row.times.push_back(stat.time);
+        completed += stat.completed ? 1 : 0;
+        if (stat.cz_step) {
+            cz_sum += static_cast<double>(*stat.cz_step);
+            cz_max = std::max(cz_max, static_cast<double>(*stat.cz_step));
+            ++cz_count;
+        }
+        row.wall_seconds += stat.wall_seconds;
+    }
+    row.summary = stats::summarize(row.times);
+    // Deterministic bootstrap stream per point (driver thread only).
+    rng::rng boot_gen(point.sc.seed ^ 0x626f6f7473747261ULL);
+    row.mean_ci = stats::bootstrap_mean_ci(row.times, 0.95, 1000, boot_gen);
+    row.completed_fraction = static_cast<double>(completed) / static_cast<double>(reps);
+    if (cz_count > 0) {
+        row.mean_cz_step = cz_sum / static_cast<double>(cz_count);
+        row.max_cz_step = cz_max;
+    }
+    row.cz_fraction = static_cast<double>(cz_count) / static_cast<double>(reps);
+    row.suburb_diameter = stats.front().suburb_diameter;
+    const std::size_t messages = stats.front().message_times.size();
+    row.message_mean_times.assign(messages, 0.0);
+    row.message_completed_fraction.assign(messages, 0.0);
+    for (const auto& stat : stats) {
+        for (std::size_t m = 0; m < messages; ++m) {
+            row.message_mean_times[m] += stat.message_times[m];
+            row.message_completed_fraction[m] += stat.message_completed[m];
+        }
+    }
+    for (std::size_t m = 0; m < messages; ++m) {
+        row.message_mean_times[m] /= static_cast<double>(reps);
+        row.message_completed_fraction[m] /= static_cast<double>(reps);
+    }
+    return row;
+}
 
 sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
                        std::span<result_sink* const> sinks,
@@ -370,48 +416,7 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
                                         trace_field::str("label", points[p].label)});
         }
 
-        sweep_row row;
-        row.point = points[p];
-        row.times.reserve(reps);
-        std::size_t completed = 0;
-        double cz_sum = 0.0;
-        double cz_max = 0.0;
-        std::size_t cz_count = 0;
-        for (const auto& stat : replica_stats[p]) {
-            row.times.push_back(stat.time);
-            completed += stat.completed ? 1 : 0;
-            if (stat.cz_step) {
-                cz_sum += static_cast<double>(*stat.cz_step);
-                cz_max = std::max(cz_max, static_cast<double>(*stat.cz_step));
-                ++cz_count;
-            }
-            row.wall_seconds += stat.wall_seconds;
-        }
-        row.summary = stats::summarize(row.times);
-        // Deterministic bootstrap stream per point (driver thread only).
-        rng::rng boot_gen(points[p].sc.seed ^ 0x626f6f7473747261ULL);
-        row.mean_ci = stats::bootstrap_mean_ci(row.times, 0.95, 1000, boot_gen);
-        row.completed_fraction =
-            static_cast<double>(completed) / static_cast<double>(reps);
-        if (cz_count > 0) {
-            row.mean_cz_step = cz_sum / static_cast<double>(cz_count);
-            row.max_cz_step = cz_max;
-        }
-        row.cz_fraction = static_cast<double>(cz_count) / static_cast<double>(reps);
-        row.suburb_diameter = replica_stats[p].front().suburb_diameter;
-        const std::size_t messages = replica_stats[p].front().message_times.size();
-        row.message_mean_times.assign(messages, 0.0);
-        row.message_completed_fraction.assign(messages, 0.0);
-        for (const auto& stat : replica_stats[p]) {
-            for (std::size_t m = 0; m < messages; ++m) {
-                row.message_mean_times[m] += stat.message_times[m];
-                row.message_completed_fraction[m] += stat.message_completed[m];
-            }
-        }
-        for (std::size_t m = 0; m < messages; ++m) {
-            row.message_mean_times[m] /= static_cast<double>(reps);
-            row.message_completed_fraction[m] /= static_cast<double>(reps);
-        }
+        sweep_row row = aggregate_sweep_row(points[p], replica_stats[p]);
         for (result_sink* sink : sinks) {
             sink->on_row(row);
         }
@@ -430,8 +435,15 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
     }
     if (ledger != nullptr) {
         // Final publish — also on the error path, so completed replicas
-        // survive a failed sweep and the next --resume= picks them up.
-        ledger->flush();
+        // survive a failed sweep and the next --resume= picks them up. A
+        // persistent publish failure must not mask the sweep's own error.
+        try {
+            ledger->flush();
+        } catch (...) {
+            if (!first_error) {
+                first_error = std::current_exception();
+            }
+        }
     }
     if (trace != nullptr) {
         // sweep_end lands even on the error path (error flag set), so every

@@ -111,11 +111,11 @@ struct checkpoint_options {
 
     /// Completed replicas between manifest publishes (>= 1; 0 is treated
     /// as 1). Each publish rewrites the whole ledger atomically.
+    ///
+    /// (Crash injection moved to the structured fault harness: a
+    /// MANHATTAN_FAULT=ledger.record:crash:K rule — engine/fault.h —
+    /// replaces the old abort_after knob.)
     std::size_t checkpoint_every = 1;
-
-    /// Crash injection for the CI resume smoke: raise SIGKILL after this
-    /// many freshly computed replicas were recorded (0 = never).
-    std::size_t abort_after = 0;
 };
 
 /// Run the sweep. Rows are delivered to every sink in expansion order, each
