@@ -56,11 +56,26 @@ inline void banner(const std::string& experiment_id, const std::string& artifact
 /// Wrap the whole of main in guarded_main: it parses the CLI, runs \p body,
 /// and maps every escaping exception onto this taxonomy (engine/error.h) so
 /// scripts and CI can branch on *why* a bench failed, not just that it did.
+/// Marker thrown by run_sweep_auto once `--fingerprint` has printed its
+/// digest: unwinds the bench without running a single replica; guarded_main
+/// maps it to exit 0. Not an error type on purpose — nothing but
+/// guarded_main may swallow it.
+struct fingerprint_printed {};
+
+namespace detail {
+/// Set by guarded_main when --fingerprint is present (process-wide: one CLI
+/// per process).
+inline bool fingerprint_only = false;
+}  // namespace detail
+
 template <typename Fn>
 int guarded_main(int argc, char** argv, Fn&& body) {
     try {
         const util::cli_args args(argc, argv);
+        detail::fingerprint_only = args.has("fingerprint");
         return body(args);
+    } catch (const fingerprint_printed&) {
+        return 0;
     } catch (const engine::fabric_partial& e) {
         std::fprintf(stderr, "partial: %s\n", e.what());
         return engine::exit_partial;
@@ -483,11 +498,26 @@ class fabric_set {
 /// Dispatch one sweep to the fabric (when --fabric= is set) or to plain
 /// run_sweep. The sweep benches call this everywhere they used to call
 /// run_sweep, so every one of them can be a fault-tolerant worker.
+///
+/// `--fingerprint` (any sweep bench): dry-run — expand the spec, print its
+/// fingerprint (the result cache's key, docs/SERVICE.md) to stdout, and exit
+/// 0 without running anything. Benches that run several sweeps print their
+/// *first* sweep's fingerprint: later specs often depend on earlier rows, so
+/// only the first is well-defined without running — and it is the one a
+/// cache probe needs.
 inline engine::sweep_result run_sweep_auto(fabric_set& fabric,
                                            const engine::sweep_spec& spec,
                                            const engine::run_options& opts,
                                            std::span<engine::result_sink* const> sinks,
                                            const engine::checkpoint_options& checkpoint = {}) {
+    if (detail::fingerprint_only) {
+        const auto points = spec.expand();
+        std::printf("fingerprint %s points=%zu reps=%zu\n",
+                    engine::fingerprint_hex(engine::sweep_fingerprint(points, spec.repetitions))
+                        .c_str(),
+                    points.size(), spec.repetitions);
+        throw fingerprint_printed{};
+    }
     if (fabric.active()) {
         return fabric.run(spec, opts, sinks);
     }

@@ -1,0 +1,148 @@
+/// manhattanctl — client CLI for the manhattand job daemon (docs/SERVICE.md).
+///
+/// Ops (--op=, default submit):
+///   submit     build the sweep spec from the flags below, submit it, stream
+///              rows into --csv=/--json= sinks, print the outcome line
+///              `job <fingerprint> cached=<0|1> rows=<n> fresh=<k>`
+///   ping | stats | shutdown
+///   status | cancel        (--job=<fingerprint hex>)
+///
+/// Spec flags (submit / --local / --fingerprint):
+///   --n=K            agents (1200), standard case L = sqrt(n)
+///   --c1=LIST        radius factors R = c1 sqrt(ln n)  (default 2.5,3.0)
+///   --reps=K         replicas per grid point (3)
+///   --seed=K         base seed (42)
+///   --max-steps=K    give-up horizon (50000)
+///   --source=SPEC    shared source flag (bench_common.h)
+///
+/// Modes:
+///   --local          run the identical spec in-process (run_sweep) instead
+///                    of submitting — the byte-identity reference the CI
+///                    smoke diffs daemon output against
+///   --fingerprint    print the spec's fingerprint and exit 0 (cache probe)
+///
+/// Connection: --socket=PATH (required for remote ops), --client=ID.
+#include "bench_common.h"
+#include "service/client.h"
+
+namespace {
+
+using namespace manhattan;
+
+std::vector<double> parse_double_list(const std::string& flag, const std::string& text) {
+    if (text.empty()) {
+        throw std::invalid_argument("--" + flag + ": empty list");
+    }
+    std::vector<double> out;
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t used = 0;
+        try {
+            out.push_back(std::stod(text.substr(pos), &used));
+        } catch (const std::exception&) {
+            throw std::invalid_argument("--" + flag + ": malformed list '" + text + "'");
+        }
+        pos += used;
+        if (pos == text.size()) {
+            return out;
+        }
+        if (text[pos] != ',' || pos + 1 == text.size()) {
+            throw std::invalid_argument("--" + flag + ": malformed list '" + text + "'");
+        }
+        pos += 1;
+    }
+}
+
+engine::sweep_spec build_spec(const util::cli_args& args) {
+    const std::size_t n = bench::count_arg(args, "n", 1200);
+    engine::sweep_spec spec;
+    spec.base.params = bench::standard_params(n, 3.0, 1.0);
+    spec.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    spec.base.max_steps = bench::count_arg(args, "max-steps", 50'000);
+    bench::apply_source(args, spec.base);
+    spec.repetitions = bench::replicas(args, 3);
+    spec.c1 = parse_double_list("c1", args.get_string("c1", "2.5,3.0"));
+    return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    return bench::guarded_main(argc, argv, [](const util::cli_args& args) {
+        const std::string op = args.get_string("op", "submit");
+        const std::string socket = args.get_string("socket", "");
+        const std::string client_id = args.get_string("client", "ctl");
+
+        if (args.has("fingerprint")) {
+            const engine::sweep_spec spec = build_spec(args);
+            const auto points = spec.expand();
+            std::printf("fingerprint %s points=%zu reps=%zu\n",
+                        engine::fingerprint_hex(
+                            engine::sweep_fingerprint(points, spec.repetitions))
+                            .c_str(),
+                        points.size(), spec.repetitions);
+            return 0;
+        }
+
+        if (args.has("local")) {
+            const engine::sweep_spec spec = build_spec(args);
+            bench::sink_set sinks(args);
+            const engine::sweep_result result =
+                engine::run_sweep(spec, bench::engine_options(args), sinks.span());
+            sinks.finish();
+            std::printf("local %s rows=%zu\n",
+                        engine::fingerprint_hex(engine::sweep_fingerprint(spec)).c_str(),
+                        result.rows.size());
+            return 0;
+        }
+
+        if (socket.empty()) {
+            throw std::invalid_argument("manhattanctl: --socket=PATH is required");
+        }
+        // The daemon may still be binding its socket (CI starts both at
+        // once); ride the race out instead of failing the first probe.
+        auto connect = [&] {
+            return engine::with_retry(engine::backoff_policy{}, "connect", [&] {
+                return std::make_unique<service::client>(socket);
+            });
+        };
+
+        if (op == "submit") {
+            const engine::sweep_spec spec = build_spec(args);
+            bench::sink_set sinks(args);
+            const service::submit_outcome outcome =
+                connect()->submit(spec, client_id, sinks.span());
+            sinks.finish();
+            if (outcome.cancelled) {
+                std::printf("job %s cancelled\n", outcome.job.c_str());
+                return 3;
+            }
+            std::printf("job %s cached=%d rows=%zu fresh=%llu\n", outcome.job.c_str(),
+                        outcome.cached ? 1 : 0, outcome.rows,
+                        static_cast<unsigned long long>(outcome.fresh_replicas));
+            return 0;
+        }
+        if (op == "ping" || op == "stats") {
+            const service::json_value response =
+                op == "ping" ? connect()->ping() : connect()->stats();
+            std::printf("%s\n", service::dump(response).c_str());
+            return 0;
+        }
+        if (op == "status" || op == "cancel") {
+            const std::string job = args.get_string("job", "");
+            if (job.empty()) {
+                throw std::invalid_argument("manhattanctl: --job=HEX is required for " + op);
+            }
+            const service::json_value response =
+                op == "status" ? connect()->status(job) : connect()->cancel(job);
+            std::printf("%s\n", service::dump(response).c_str());
+            return 0;
+        }
+        if (op == "shutdown") {
+            connect()->shutdown_daemon();
+            std::printf("shutdown requested\n");
+            return 0;
+        }
+        throw std::invalid_argument("manhattanctl: unknown --op=" + op);
+    });
+}

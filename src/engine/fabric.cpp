@@ -573,12 +573,23 @@ fabric_spec init_fabric(const std::string& dir, const sweep_spec& spec, std::siz
     if (fs::exists(spec_path(dir))) {
         const fabric_spec existing = load_fabric(dir);
         if (existing.fingerprint != out.fingerprint || existing.batch != out.batch) {
+            // Name the first differing spec field: "which digit of the hash
+            // changed" is useless for a user deciding whether the directory
+            // is stale or their flags drifted.
+            std::string detail = first_spec_difference(existing.points, existing.repetitions,
+                                                       out.points, out.repetitions);
+            if (existing.batch != out.batch) {
+                detail = detail.empty() ? "batch size" : detail;
+            }
+            if (!detail.empty()) {
+                detail = "; first difference: " + detail;
+            }
             throw error(errc::state,
                         "fabric: '" + dir + "' already holds a different sweep (spec " +
                             hex64(existing.fingerprint) + " batch " +
                             std::to_string(existing.batch) + ", this sweep " +
                             hex64(out.fingerprint) + " batch " + std::to_string(out.batch) +
-                            ") — use a fresh directory per sweep");
+                            ") — use a fresh directory per sweep" + detail);
         }
         return existing;
     }
@@ -640,7 +651,8 @@ fabric_report run_fabric_worker(const fabric_options& opts, const run_options& r
     }
     checkpoint_ledger ledger(std::move(manifest), own_ledger, 1);
 
-    thread_pool pool(run.threads);
+    std::optional<thread_pool> owned_pool;
+    thread_pool& pool = run.pool != nullptr ? *run.pool : owned_pool.emplace(run.threads);
     running_registry registry;
     auto deadline_action = opts.deadline_action;
     if (!deadline_action) {

@@ -161,6 +161,124 @@ std::uint64_t sweep_fingerprint(const sweep_spec& spec) {
     return sweep_fingerprint(spec.expand(), spec.repetitions);
 }
 
+std::string fingerprint_hex(std::uint64_t fingerprint) { return hex64(fingerprint); }
+
+namespace {
+
+/// Field-by-field comparison helpers for first_spec_difference. Doubles are
+/// compared (and rendered) as bit patterns: the fingerprint hashes bits, so
+/// two values that print alike but differ in the last ulp are a real
+/// difference and must be reported as one.
+struct diff_finder {
+    std::string found;  ///< first difference, empty while none
+
+    bool u64(const char* name, std::uint64_t a, std::uint64_t b) {
+        if (!found.empty() || a == b) {
+            return !found.empty();
+        }
+        found = std::string{name} + " (" + std::to_string(a) + " vs " +
+                std::to_string(b) + ")";
+        return true;
+    }
+
+    bool f64(const char* name, double a, double b) {
+        const std::uint64_t bits_a = std::bit_cast<std::uint64_t>(a);
+        const std::uint64_t bits_b = std::bit_cast<std::uint64_t>(b);
+        if (!found.empty() || bits_a == bits_b) {
+            return !found.empty();
+        }
+        found = std::string{name} + " (" + hex64(bits_a) + " vs " + hex64(bits_b) + ")";
+        return true;
+    }
+
+    bool boolean(const char* name, bool a, bool b) {
+        return u64(name, a ? 1 : 0, b ? 1 : 0);
+    }
+};
+
+bool diff_source_spec(diff_finder& d, const core::source_spec& a,
+                      const core::source_spec& b) {
+    if (d.u64("sources.how", static_cast<std::uint64_t>(a.how),
+              static_cast<std::uint64_t>(b.how)) ||
+        d.u64("sources.placement", static_cast<std::uint64_t>(a.placement),
+              static_cast<std::uint64_t>(b.placement)) ||
+        d.u64("sources.count", a.count, b.count) ||
+        d.u64("sources.ids.size", a.ids.size(), b.ids.size())) {
+        return true;
+    }
+    for (std::size_t i = 0; i < a.ids.size(); ++i) {
+        if (d.u64("sources.ids", a.ids[i], b.ids[i])) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Mirrors hash_scenario field for field — keep the two walks in sync.
+bool diff_scenario(diff_finder& d, const core::scenario& a, const core::scenario& b) {
+    if (d.u64("n", a.params.n, b.params.n) ||
+        d.f64("side", a.params.side, b.params.side) ||
+        d.f64("radius", a.params.radius, b.params.radius) ||
+        d.f64("speed", a.params.speed, b.params.speed) ||
+        d.u64("model", static_cast<std::uint64_t>(a.model),
+              static_cast<std::uint64_t>(b.model)) ||
+        d.f64("walk_step_radius", a.model_opts.walk_step_radius,
+              b.model_opts.walk_step_radius) ||
+        d.f64("direction_max_leg", a.model_opts.direction_max_leg,
+              b.model_opts.direction_max_leg) ||
+        d.u64("mode", static_cast<std::uint64_t>(a.mode),
+              static_cast<std::uint64_t>(b.mode)) ||
+        d.f64("gossip_p", a.gossip_p, b.gossip_p) ||
+        d.u64("source", static_cast<std::uint64_t>(a.source),
+              static_cast<std::uint64_t>(b.source)) ||
+        d.u64("seed", a.seed, b.seed) ||
+        d.boolean("stationary_start", a.stationary_start, b.stationary_start) ||
+        d.f64("warmup_time", a.warmup_time, b.warmup_time) ||
+        d.u64("max_steps", a.max_steps, b.max_steps) ||
+        d.boolean("record_timeline", a.record_timeline, b.record_timeline) ||
+        d.boolean("with_cell_partition", a.with_cell_partition, b.with_cell_partition) ||
+        d.u64("stop.how", static_cast<std::uint64_t>(a.spread.stop.how),
+              static_cast<std::uint64_t>(b.spread.stop.how)) ||
+        d.f64("stop.fraction", a.spread.stop.fraction, b.spread.stop.fraction) ||
+        d.u64("stop.steps", a.spread.stop.steps, b.spread.stop.steps) ||
+        d.u64("messages.size", a.spread.messages.size(), b.spread.messages.size())) {
+        return true;
+    }
+    for (std::size_t i = 0; i < a.spread.messages.size(); ++i) {
+        const auto& ma = a.spread.messages[i];
+        const auto& mb = b.spread.messages[i];
+        if (diff_source_spec(d, ma.sources, mb.sources) ||
+            d.u64("spawn_step", ma.spawn_step, mb.spawn_step) ||
+            d.u64("message.mode", static_cast<std::uint64_t>(ma.mode),
+                  static_cast<std::uint64_t>(mb.mode)) ||
+            d.f64("message.gossip_p", ma.gossip_p, mb.gossip_p) ||
+            d.u64("gossip_seed", ma.gossip_seed, mb.gossip_seed) ||
+            d.u64("source_seed", ma.source_seed, mb.source_seed)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+std::string first_spec_difference(std::span<const sweep_point> a,
+                                  std::size_t repetitions_a,
+                                  std::span<const sweep_point> b,
+                                  std::size_t repetitions_b) {
+    diff_finder d;
+    if (d.u64("repetitions", repetitions_a, repetitions_b) ||
+        d.u64("points", a.size(), b.size())) {
+        return d.found;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (diff_scenario(d, a[i].sc, b[i].sc)) {
+            return "point " + std::to_string(i) + ": " + d.found;
+        }
+    }
+    return {};
+}
+
 void atomic_write_file(const std::string& path, const std::string& contents) {
     // All failures below raise transient io errors: an interrupted syscall,
     // a momentarily full descriptor table or a busy file may clear on retry,

@@ -105,6 +105,21 @@ struct run_manifest {
 /// Convenience overload: expand the spec, then fingerprint it.
 [[nodiscard]] std::uint64_t sweep_fingerprint(const sweep_spec& spec);
 
+/// Canonical 16-hex-char lower-case rendering of a fingerprint — the form
+/// the manifest header, the result cache's file names, and every mismatch
+/// diagnostic use.
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fingerprint);
+
+/// Diagnose a fingerprint mismatch: the first output-affecting field that
+/// differs between two expanded sweeps, as "repetitions (3 vs 5)" or
+/// "point 2: radius (<hex64> vs <hex64>)" — empty when the expansions are
+/// identical (then only engine_output_version can explain a digest
+/// difference). Walks exactly the fields sweep_fingerprint hashes.
+[[nodiscard]] std::string first_spec_difference(std::span<const sweep_point> a,
+                                                std::size_t repetitions_a,
+                                                std::span<const sweep_point> b,
+                                                std::size_t repetitions_b);
+
 /// Publish \p contents to \p path atomically: write path.tmp, fsync, rename
 /// over path (then best-effort fsync the directory). A reader or a crash
 /// never observes a partial file. Throws engine::error (class io, marked

@@ -30,6 +30,14 @@ struct run_options {
                               ///< flooding_times (1 = best balance; the sweep
                               ///< driver always schedules per-replica)
 
+    /// Caller-owned shared pool (optional). When set, run_sweep and
+    /// run_fabric_worker schedule on it instead of constructing their own —
+    /// a long-lived daemon runs every job on one pool instead of respawning
+    /// worker threads per request. `threads` is ignored then; outcomes are
+    /// bit-identical either way (the determinism contract is thread-count
+    /// independent).
+    thread_pool* pool = nullptr;
+
     // Observability hooks (both optional, both observation-only: results are
     // bit-identical with or without them — docs/OBSERVABILITY.md).
     trace_sink* trace = nullptr;            ///< JSONL event stream (sweep driver)

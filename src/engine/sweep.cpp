@@ -208,10 +208,10 @@ std::unique_ptr<checkpoint_ledger> open_ledger(const checkpoint_options& checkpo
             throw manifest_error(
                 "manifest: '" + checkpoint.manifest_path +
                 "' does not match this sweep (manifest fingerprint " +
-                std::to_string(manifest.fingerprint) + ", " +
+                fingerprint_hex(manifest.fingerprint) + ", " +
                 std::to_string(manifest.points) + " points x " +
                 std::to_string(manifest.repetitions) + " reps; sweep fingerprint " +
-                std::to_string(fingerprint) + ", " + std::to_string(points.size()) +
+                fingerprint_hex(fingerprint) + ", " + std::to_string(points.size()) +
                 " points x " + std::to_string(reps) +
                 " reps). The axes, seed, repetitions or engine version changed since the "
                 "checkpoint was written — delete the manifest or rerun without --resume=");
@@ -323,7 +323,10 @@ sweep_result run_sweep(const sweep_spec& spec, const run_options& opts,
         }
     }
 
-    thread_pool pool(opts.threads);
+    // A caller-supplied pool (opts.pool) is shared across sweeps — the
+    // daemon's steady-state path; otherwise this sweep owns a fresh one.
+    std::optional<thread_pool> owned_pool;
+    thread_pool& pool = opts.pool != nullptr ? *opts.pool : owned_pool.emplace(opts.threads);
 
     if (trace != nullptr) {
         trace->emit("sweep_begin",

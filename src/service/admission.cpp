@@ -1,0 +1,109 @@
+#include "service/admission.h"
+
+namespace manhattan::service {
+
+namespace {
+
+void bump(engine::counter* c) {
+    if (c != nullptr) {
+        c->add();
+    }
+}
+
+}  // namespace
+
+admission_ticket::admission_ticket(admission_controller& owner, std::string client)
+    : owner_(owner), client_(std::move(client)) {}
+
+admission_ticket::~admission_ticket() { owner_.release(*this); }
+
+bool admission_ticket::acquire_run_slot() {
+    std::unique_lock lock(owner_.mutex_);
+    owner_.slot_free_.wait(lock, [&] {
+        return cancelled_ || owner_.running_ < owner_.config_.max_running;
+    });
+    if (cancelled_) {
+        return false;
+    }
+    running_ = true;
+    ++owner_.running_;
+    return true;
+}
+
+void admission_ticket::cancel() {
+    {
+        std::lock_guard lock(owner_.mutex_);
+        if (cancelled_) {
+            return;
+        }
+        cancelled_ = true;
+    }
+    bump(owner_.cancelled_counter_);
+    owner_.slot_free_.notify_all();
+}
+
+bool admission_ticket::cancelled() const {
+    std::lock_guard lock(owner_.mutex_);
+    return cancelled_;
+}
+
+admission_controller::admission_controller(admission_config config,
+                                           engine::metrics_registry* metrics)
+    : config_(config) {
+    if (metrics != nullptr) {
+        admitted_counter_ = &metrics->get_counter("admission.admitted");
+        shed_counter_ = &metrics->get_counter("admission.shed");
+        cancelled_counter_ = &metrics->get_counter("admission.cancelled");
+    }
+}
+
+std::unique_ptr<admission_ticket> admission_controller::admit(const std::string& client) {
+    {
+        std::lock_guard lock(mutex_);
+        if (admitted_ >= config_.max_queue) {
+            bump(shed_counter_);
+            throw busy_error("busy: " + std::to_string(admitted_) + "/" +
+                             std::to_string(config_.max_queue) +
+                             " jobs in flight — retry later");
+        }
+        const std::size_t mine = per_client_[client];
+        if (mine >= config_.per_client_inflight) {
+            bump(shed_counter_);
+            throw busy_error("busy: client '" + client + "' already has " +
+                             std::to_string(mine) + "/" +
+                             std::to_string(config_.per_client_inflight) +
+                             " jobs in flight — retry later");
+        }
+        ++admitted_;
+        ++per_client_[client];
+    }
+    bump(admitted_counter_);
+    return std::unique_ptr<admission_ticket>(new admission_ticket(*this, client));
+}
+
+std::size_t admission_controller::queued() const {
+    std::lock_guard lock(mutex_);
+    return admitted_ - running_;
+}
+
+std::size_t admission_controller::running() const {
+    std::lock_guard lock(mutex_);
+    return running_;
+}
+
+void admission_controller::release(admission_ticket& ticket) {
+    {
+        std::lock_guard lock(mutex_);
+        --admitted_;
+        if (ticket.running_) {
+            --running_;
+        }
+        auto it = per_client_.find(ticket.client_);
+        if (it != per_client_.end() && --it->second == 0) {
+            per_client_.erase(it);
+        }
+    }
+    slot_free_.notify_all();
+}
+
+}  // namespace manhattan::service

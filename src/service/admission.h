@@ -1,0 +1,104 @@
+/// \file admission.h
+/// Admission control for the job daemon: a bounded waiting line, a cap on
+/// concurrently running jobs, and a per-client in-flight cap. Shedding is
+/// fail-fast — an over-budget submission is refused *at submit time* with a
+/// typed busy_error (engine taxonomy: runtime, exit code 3) rather than
+/// queued behind an unbounded backlog; the millionth user gets an honest
+/// "busy, retry later" in microseconds instead of a timeout.
+///
+/// Ticket lifecycle: admit() either throws or returns; an admitted job holds
+/// a queue slot, then blocks in acquire_run_slot() until one of the
+/// max_running slots frees, runs, and release()s both on destruction of its
+/// RAII ticket. Cancellation flips the ticket's flag; a still-queued job
+/// observes it inside acquire_run_slot() and withdraws without running.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/error.h"
+#include "engine/metrics.h"
+
+namespace manhattan::service {
+
+/// The daemon is at capacity: the queue bound or the submitter's in-flight
+/// cap would be exceeded. Retryable by the client after backoff (the engine
+/// taxonomy has no dedicated "unavailable" class; runtime is the honest
+/// fit — the request was valid, the server's current state refused it).
+class busy_error : public engine::error {
+ public:
+    explicit busy_error(const std::string& what) : engine::error(engine::errc::runtime, what) {}
+};
+
+struct admission_config {
+    std::size_t max_queue = 16;           ///< admitted-but-not-finished bound
+    std::size_t max_running = 1;          ///< concurrently executing sweeps
+    std::size_t per_client_inflight = 4;  ///< admitted jobs per client id
+};
+
+class admission_controller;
+
+/// RAII admission ticket: releases its queue slot (and run slot, when held)
+/// when destroyed. Created only by admission_controller::admit().
+class admission_ticket {
+ public:
+    ~admission_ticket();
+    admission_ticket(const admission_ticket&) = delete;
+    admission_ticket& operator=(const admission_ticket&) = delete;
+
+    /// Block until a run slot frees or the ticket is cancelled. Returns
+    /// false when cancelled (the job must not run).
+    [[nodiscard]] bool acquire_run_slot();
+
+    /// Mark cancelled (any thread). A queued job withdraws; a running job is
+    /// unaffected — cancellation is admission-level, not preemption.
+    void cancel();
+
+    [[nodiscard]] bool cancelled() const;
+
+ private:
+    friend class admission_controller;
+    admission_ticket(admission_controller& owner, std::string client);
+
+    admission_controller& owner_;
+    std::string client_;
+    bool running_ = false;
+    bool cancelled_ = false;
+};
+
+/// Thread-safe. Counters (when a registry is supplied): "admission.admitted",
+/// "admission.shed", "admission.cancelled".
+class admission_controller {
+ public:
+    explicit admission_controller(admission_config config,
+                                  engine::metrics_registry* metrics = nullptr);
+
+    /// Admit one job for \p client or throw busy_error (never blocks).
+    [[nodiscard]] std::unique_ptr<admission_ticket> admit(const std::string& client);
+
+    /// Snapshot for the stats op.
+    [[nodiscard]] std::size_t queued() const;
+    [[nodiscard]] std::size_t running() const;
+
+    [[nodiscard]] const admission_config& config() const noexcept { return config_; }
+
+ private:
+    friend class admission_ticket;
+    void release(admission_ticket& ticket);
+
+    admission_config config_;
+    mutable std::mutex mutex_;
+    std::condition_variable slot_free_;
+    std::size_t admitted_ = 0;  ///< live tickets (queued + running)
+    std::size_t running_ = 0;
+    std::map<std::string, std::size_t> per_client_;
+    engine::counter* admitted_counter_ = nullptr;
+    engine::counter* shed_counter_ = nullptr;
+    engine::counter* cancelled_counter_ = nullptr;
+};
+
+}  // namespace manhattan::service

@@ -1,0 +1,133 @@
+/// \file daemon.h
+/// The simulation-as-a-service core: a long-lived job daemon serving
+/// sweep_spec jobs over an AF_UNIX stream socket, one newline-delimited JSON
+/// document per message (protocol in docs/SERVICE.md). Submissions pass the
+/// admission controller, run on one shared thread pool, stream their rows
+/// back incrementally through the ordinary sink machinery, and land in the
+/// fingerprint-keyed result cache — a repeated query is a replay from disk,
+/// not a re-run.
+///
+/// Threading model: serve() accepts in its calling thread and spawns one
+/// thread per connection. The connection thread itself executes the jobs it
+/// submits (after waiting for an admission run slot), so every write to a
+/// connection comes from the one thread that owns it — no per-connection
+/// write locks. Cross-connection ops (status / cancel / stats) only touch
+/// the shared job registry.
+///
+/// Crash tolerance: every running job checkpoints to
+/// `<work_dir>/<fingerprint>.manifest`. A daemon killed mid-job leaves that
+/// ledger behind; the restarted daemon's next submission of the same spec
+/// resumes at the exact replica boundary (engine/manifest.h) and completes
+/// with only the missing replicas — then caches the result as usual.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "engine/thread_pool.h"
+#include "service/admission.h"
+#include "service/result_cache.h"
+#include "service/wire.h"
+
+namespace manhattan::service {
+
+struct daemon_config {
+    std::string socket_path;  ///< AF_UNIX path (beware the ~107-byte limit)
+    std::string cache_dir;    ///< result cache entries
+    std::string work_dir;     ///< in-flight job ledgers (crash recovery)
+    std::string fabric_root;  ///< non-empty: farm jobs to a fabric directory
+                              ///< per job instead of running in-process
+                              ///< (external sweepd workers may then join in)
+    std::size_t threads = 0;  ///< shared pool size (0 = hardware concurrency)
+    admission_config admission;
+    std::size_t cache_max_entries = 0;
+    std::uint64_t cache_max_bytes = 0;
+};
+
+/// One daemon instance. start() binds and spawns the accept loop; stop()
+/// (idempotent, any thread) closes the listener and every connection and
+/// joins the threads. The destructor stops.
+class daemon {
+ public:
+    explicit daemon(daemon_config config);
+    ~daemon();
+    daemon(const daemon&) = delete;
+    daemon& operator=(const daemon&) = delete;
+
+    /// Bind + listen + spawn the accept thread. Throws engine::error
+    /// (class io) when the socket cannot be bound.
+    void start();
+
+    /// Shut down: close the listener, shut down every live connection,
+    /// join all threads. Safe to call from a connection thread (a deferred
+    /// self-join is handed to the destructor) and from signal-adjacent
+    /// contexts via request_stop().
+    void stop();
+
+    /// Flag the accept loop to exit without blocking (the SIGTERM path:
+    /// close(2) on the listener is async-signal-safe). stop() still has to
+    /// run afterwards to join.
+    void request_stop() noexcept;
+
+    /// Block until stop() ran (the daemon main's final wait).
+    void wait();
+
+    [[nodiscard]] engine::metrics_registry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] engine::thread_pool& pool() noexcept { return *pool_; }
+    [[nodiscard]] const daemon_config& config() const noexcept { return config_; }
+
+ private:
+    struct job_state;
+
+    void accept_loop();
+    void handle_connection(int fd);
+    void handle_submit(int fd, const json_value& request);
+    void handle_status(int fd, const json_value& request);
+    void handle_cancel(int fd, const json_value& request);
+    void handle_stats(int fd);
+
+    /// Stream every row of a completed manifest (cache hit / fabric merge)
+    /// and the trailing done event. Zero pool tasks by construction.
+    void serve_manifest(int fd, const std::string& job,
+                        const std::vector<engine::sweep_point>& points,
+                        std::size_t repetitions, engine::run_manifest manifest,
+                        bool cached);
+
+    /// Run one job through a per-job fabric directory under fabric_root (this
+    /// daemon drains it too; external sweepd workers may join). Streams rows
+    /// to \p sink, caches, and returns the merged manifest.
+    engine::run_manifest run_on_fabric(const engine::sweep_spec& spec,
+                                       engine::result_sink& sink);
+
+    daemon_config config_;
+    engine::metrics_registry metrics_;
+    std::unique_ptr<engine::thread_pool> pool_;
+    result_cache cache_;
+    admission_controller admission_;
+
+    int listener_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::thread accept_thread_;
+
+    std::mutex connections_mutex_;
+    std::vector<std::pair<int, std::thread>> connections_;
+
+    /// Fingerprint-keyed registry of live (queued or running) jobs — the
+    /// status / cancel surface and the duplicate-submission rendezvous.
+    std::mutex jobs_mutex_;
+    std::map<std::uint64_t, std::shared_ptr<job_state>> jobs_;
+
+    std::mutex stopped_mutex_;
+    std::condition_variable stopped_cv_;
+    bool stopped_ = false;
+};
+
+}  // namespace manhattan::service

@@ -1,0 +1,903 @@
+#include "service/wire.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/scenario.h"
+#include "mobility/factory.h"
+
+namespace manhattan::service {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { throw wire_error(what); }
+
+constexpr std::size_t max_depth = 64;  ///< nesting bound (hostile input guard)
+
+std::string hex64(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+    return {buf};
+}
+
+// ------------------------------------------------------------------ parser --
+
+class parser {
+ public:
+    explicit parser(const std::string& text) : text_(text) {}
+
+    json_value run() {
+        json_value v = value(0);
+        skip_ws();
+        if (pos_ != text_.size()) {
+            bad("trailing content after document (offset " + std::to_string(pos_) + ")");
+        }
+        return v;
+    }
+
+ private:
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+                break;
+            }
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) {
+            bad("truncated document");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) {
+            bad(std::string{"expected '"} + c + "' at offset " + std::to_string(pos_));
+        }
+        ++pos_;
+    }
+
+    bool literal(const char* word) {
+        const std::size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    json_value value(std::size_t depth) {
+        if (depth > max_depth) {
+            bad("nesting deeper than " + std::to_string(max_depth));
+        }
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{':
+                return object(depth);
+            case '[':
+                return array(depth);
+            case '"':
+                return json_value::string(string());
+            case 't':
+                if (literal("true")) {
+                    return json_value::boolean(true);
+                }
+                bad("bad literal at offset " + std::to_string(pos_));
+            case 'f':
+                if (literal("false")) {
+                    return json_value::boolean(false);
+                }
+                bad("bad literal at offset " + std::to_string(pos_));
+            case 'n':
+                if (literal("null")) {
+                    return json_value::null();
+                }
+                bad("bad literal at offset " + std::to_string(pos_));
+            default:
+                return number();
+        }
+    }
+
+    json_value object(std::size_t depth) {
+        expect('{');
+        json_value v = json_value::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = string();
+            skip_ws();
+            expect(':');
+            json_value member = value(depth + 1);
+            // Keep the first binding of a duplicated key (our encoders never
+            // emit duplicates; a foreign one must not silently override).
+            if (v.find(key) == nullptr) {
+                v.set(key, std::move(member));
+            }
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == '}') {
+                return v;
+            }
+            if (c != ',') {
+                bad("expected ',' or '}' at offset " + std::to_string(pos_ - 1));
+            }
+        }
+    }
+
+    json_value array(std::size_t depth) {
+        expect('[');
+        json_value v = json_value::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(value(depth + 1));
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == ']') {
+                return v;
+            }
+            if (c != ',') {
+                bad("expected ',' or ']' at offset " + std::to_string(pos_ - 1));
+            }
+        }
+    }
+
+    std::uint32_t hex4() {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            ++pos_;
+            v <<= 4;
+            if (c >= '0' && c <= '9') {
+                v |= static_cast<std::uint32_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                v |= static_cast<std::uint32_t>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                v |= static_cast<std::uint32_t>(c - 'A' + 10);
+            } else {
+                bad("bad \\u escape at offset " + std::to_string(pos_ - 1));
+            }
+        }
+        return v;
+    }
+
+    void append_utf8(std::string& out, std::uint32_t cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    std::string string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = peek();
+            ++pos_;
+            if (c == '"') {
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                bad("raw control character in string at offset " + std::to_string(pos_ - 1));
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+                case '"':
+                case '\\':
+                case '/':
+                    out += esc;
+                    break;
+                case 'b':
+                    out += '\b';
+                    break;
+                case 'f':
+                    out += '\f';
+                    break;
+                case 'n':
+                    out += '\n';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'u': {
+                    std::uint32_t cp = hex4();
+                    if (cp >= 0xd800 && cp < 0xdc00) {  // high surrogate
+                        if (peek() != '\\') {
+                            bad("unpaired surrogate at offset " + std::to_string(pos_));
+                        }
+                        ++pos_;
+                        if (peek() != 'u') {
+                            bad("unpaired surrogate at offset " + std::to_string(pos_));
+                        }
+                        ++pos_;
+                        const std::uint32_t lo = hex4();
+                        if (lo < 0xdc00 || lo >= 0xe000) {
+                            bad("bad low surrogate at offset " + std::to_string(pos_));
+                        }
+                        cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                    } else if (cp >= 0xdc00 && cp < 0xe000) {
+                        bad("unpaired low surrogate at offset " + std::to_string(pos_));
+                    }
+                    append_utf8(out, cp);
+                    break;
+                }
+                default:
+                    bad(std::string{"bad escape '\\"} + esc + "'");
+            }
+        }
+    }
+
+    json_value number() {
+        const std::size_t start = pos_;
+        bool integral = true;
+        if (peek() == '-') {
+            integral = false;
+            ++pos_;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-") {
+            bad("bad number at offset " + std::to_string(start));
+        }
+        if (integral) {
+            try {
+                std::size_t used = 0;
+                const std::uint64_t v = std::stoull(token, &used);
+                if (used != token.size()) {
+                    bad("bad number '" + token + "'");
+                }
+                return json_value::integer(v);
+            } catch (const wire_error&) {
+                throw;
+            } catch (const std::exception&) {
+                bad("integer out of range '" + token + "'");
+            }
+        }
+        char* end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+            bad("bad number '" + token + "'");
+        }
+        json_value out;
+        out.what = json_value::kind::number;
+        out.real = v;
+        return out;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+void dump_string(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\r':
+                out += "\\r";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void dump_into(std::string& out, const json_value& v) {
+    switch (v.what) {
+        case json_value::kind::null:
+            out += "null";
+            break;
+        case json_value::kind::boolean:
+            out += v.flag ? "true" : "false";
+            break;
+        case json_value::kind::integer:
+            out += std::to_string(v.whole);
+            break;
+        case json_value::kind::number: {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", v.real);
+            out += buf;
+            break;
+        }
+        case json_value::kind::string:
+            dump_string(out, v.text);
+            break;
+        case json_value::kind::array:
+            out += '[';
+            for (std::size_t i = 0; i < v.items.size(); ++i) {
+                if (i != 0) {
+                    out += ',';
+                }
+                dump_into(out, v.items[i]);
+            }
+            out += ']';
+            break;
+        case json_value::kind::object:
+            out += '{';
+            for (std::size_t i = 0; i < v.members.size(); ++i) {
+                if (i != 0) {
+                    out += ',';
+                }
+                dump_string(out, v.members[i].first);
+                out += ':';
+                dump_into(out, v.members[i].second);
+            }
+            out += '}';
+            break;
+    }
+}
+
+// -------------------------------------------------------------- enum names --
+// Every enum crosses the wire as a name, never a raw integer: the wire stays
+// readable and an enum renumbered by a future engine cannot silently alias.
+
+template <typename E>
+struct enum_name {
+    E value;
+    const char* name;
+};
+
+constexpr enum_name<core::propagation> propagation_names[] = {
+    {core::propagation::one_hop, "one_hop"},
+    {core::propagation::per_component, "per_component"},
+    {core::propagation::gossip, "gossip"},
+};
+
+constexpr enum_name<core::source_placement> placement_names[] = {
+    {core::source_placement::random_agent, "random_agent"},
+    {core::source_placement::center_most, "center_most"},
+    {core::source_placement::corner_most, "corner_most"},
+    {core::source_placement::corner_ne, "corner_ne"},
+    {core::source_placement::corner_nw, "corner_nw"},
+    {core::source_placement::corner_se, "corner_se"},
+};
+
+constexpr enum_name<core::source_spec::kind> source_kind_names[] = {
+    {core::source_spec::kind::placement, "placement"},
+    {core::source_spec::kind::explicit_ids, "explicit_ids"},
+    {core::source_spec::kind::random_k, "random_k"},
+};
+
+constexpr enum_name<core::stop_rule::kind> stop_kind_names[] = {
+    {core::stop_rule::kind::all_informed, "all_informed"},
+    {core::stop_rule::kind::informed_fraction, "informed_fraction"},
+    {core::stop_rule::kind::central_zone, "central_zone"},
+    {core::stop_rule::kind::step_budget, "step_budget"},
+};
+
+template <typename E, std::size_t N>
+const char* to_name(const enum_name<E> (&table)[N], E value, const char* what) {
+    for (const auto& entry : table) {
+        if (entry.value == value) {
+            return entry.name;
+        }
+    }
+    bad(std::string{"unencodable "} + what);
+}
+
+template <typename E, std::size_t N>
+E from_name(const enum_name<E> (&table)[N], const std::string& name, const char* what) {
+    for (const auto& entry : table) {
+        if (name == entry.name) {
+            return entry.value;
+        }
+    }
+    bad(std::string{"unknown "} + what + " '" + name + "'");
+}
+
+// --------------------------------------------------------- codec utilities --
+
+json_value encode_f64_array(const std::vector<double>& values) {
+    json_value arr = json_value::array();
+    arr.items.reserve(values.size());
+    for (const double v : values) {
+        arr.items.push_back(encode_f64(v));
+    }
+    return arr;
+}
+
+std::vector<double> decode_f64_array(const json_value& obj, const std::string& key) {
+    const json_value& arr = require(obj, key);
+    if (arr.what != json_value::kind::array) {
+        bad("field '" + key + "' is not an array");
+    }
+    std::vector<double> out;
+    out.reserve(arr.items.size());
+    for (const json_value& item : arr.items) {
+        out.push_back(decode_f64(item, key));
+    }
+    return out;
+}
+
+json_value encode_u64_array(const std::vector<std::size_t>& values) {
+    json_value arr = json_value::array();
+    arr.items.reserve(values.size());
+    for (const std::size_t v : values) {
+        arr.items.push_back(json_value::integer(v));
+    }
+    return arr;
+}
+
+std::vector<std::size_t> decode_u64_array(const json_value& obj, const std::string& key) {
+    const json_value& arr = require(obj, key);
+    if (arr.what != json_value::kind::array) {
+        bad("field '" + key + "' is not an array");
+    }
+    std::vector<std::size_t> out;
+    out.reserve(arr.items.size());
+    for (const json_value& item : arr.items) {
+        if (item.what != json_value::kind::integer) {
+            bad("field '" + key + "' holds a non-integer element");
+        }
+        out.push_back(item.whole);
+    }
+    return out;
+}
+
+json_value encode_source_spec(const core::source_spec& src) {
+    json_value v = json_value::object();
+    v.set("how", json_value::string(to_name(source_kind_names, src.how, "source kind")));
+    v.set("placement",
+          json_value::string(to_name(placement_names, src.placement, "placement")));
+    v.set("count", json_value::integer(src.count));
+    v.set("ids", encode_u64_array(src.ids));
+    return v;
+}
+
+core::source_spec decode_source_spec(const json_value& v) {
+    core::source_spec src;
+    src.how = from_name(source_kind_names, str_field(v, "how"), "source kind");
+    src.placement = from_name(placement_names, str_field(v, "placement"), "placement");
+    src.count = u64_field(v, "count");
+    src.ids = decode_u64_array(v, "ids");
+    return src;
+}
+
+json_value encode_summary(const stats::summary& s) {
+    json_value v = json_value::object();
+    v.set("count", json_value::integer(s.count));
+    v.set("mean", encode_f64(s.mean));
+    v.set("stddev", encode_f64(s.stddev));
+    v.set("min", encode_f64(s.min));
+    v.set("max", encode_f64(s.max));
+    v.set("median", encode_f64(s.median));
+    v.set("p25", encode_f64(s.p25));
+    v.set("p75", encode_f64(s.p75));
+    return v;
+}
+
+stats::summary decode_summary(const json_value& v) {
+    stats::summary s;
+    s.count = u64_field(v, "count");
+    s.mean = f64_field(v, "mean");
+    s.stddev = f64_field(v, "stddev");
+    s.min = f64_field(v, "min");
+    s.max = f64_field(v, "max");
+    s.median = f64_field(v, "median");
+    s.p25 = f64_field(v, "p25");
+    s.p75 = f64_field(v, "p75");
+    return s;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- value model --
+
+json_value json_value::boolean(bool v) {
+    json_value out;
+    out.what = kind::boolean;
+    out.flag = v;
+    return out;
+}
+
+json_value json_value::integer(std::uint64_t v) {
+    json_value out;
+    out.what = kind::integer;
+    out.whole = v;
+    return out;
+}
+
+json_value json_value::string(std::string v) {
+    json_value out;
+    out.what = kind::string;
+    out.text = std::move(v);
+    return out;
+}
+
+json_value json_value::array() {
+    json_value out;
+    out.what = kind::array;
+    return out;
+}
+
+json_value json_value::object() {
+    json_value out;
+    out.what = kind::object;
+    return out;
+}
+
+json_value& json_value::set(const std::string& key, json_value v) {
+    members.emplace_back(key, std::move(v));
+    return *this;
+}
+
+const json_value* json_value::find(const std::string& key) const {
+    for (const auto& [name, value] : members) {
+        if (name == key) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+std::string dump(const json_value& v) {
+    std::string out;
+    dump_into(out, v);
+    return out;
+}
+
+json_value parse_json(const std::string& text) { return parser(text).run(); }
+
+// --------------------------------------------------------- field accessors --
+
+const json_value& require(const json_value& obj, const std::string& key) {
+    if (obj.what != json_value::kind::object) {
+        bad("expected an object holding field '" + key + "'");
+    }
+    const json_value* v = obj.find(key);
+    if (v == nullptr) {
+        bad("missing field '" + key + "'");
+    }
+    return *v;
+}
+
+std::uint64_t u64_field(const json_value& obj, const std::string& key) {
+    const json_value& v = require(obj, key);
+    if (v.what != json_value::kind::integer) {
+        bad("field '" + key + "' is not an integer");
+    }
+    return v.whole;
+}
+
+bool bool_field(const json_value& obj, const std::string& key) {
+    const json_value& v = require(obj, key);
+    if (v.what != json_value::kind::boolean) {
+        bad("field '" + key + "' is not a boolean");
+    }
+    return v.flag;
+}
+
+std::string str_field(const json_value& obj, const std::string& key) {
+    const json_value& v = require(obj, key);
+    if (v.what != json_value::kind::string) {
+        bad("field '" + key + "' is not a string");
+    }
+    return v.text;
+}
+
+json_value encode_f64(double v) {
+    return json_value::string(hex64(std::bit_cast<std::uint64_t>(v)));
+}
+
+double decode_f64(const json_value& v, const std::string& what) {
+    if (v.what != json_value::kind::string || v.text.size() != 16) {
+        bad("'" + what + "' is not a 16-hex-char double");
+    }
+    std::uint64_t bits = 0;
+    for (const char c : v.text) {
+        bits <<= 4;
+        if (c >= '0' && c <= '9') {
+            bits |= static_cast<std::uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+        } else {
+            bad("'" + what + "' holds a non-hex character");
+        }
+    }
+    return std::bit_cast<double>(bits);
+}
+
+double f64_field(const json_value& obj, const std::string& key) {
+    return decode_f64(require(obj, key), key);
+}
+
+// ------------------------------------------------------------------ codecs --
+
+json_value encode_scenario(const core::scenario& sc) {
+    json_value v = json_value::object();
+    v.set("n", json_value::integer(sc.params.n));
+    v.set("side", encode_f64(sc.params.side));
+    v.set("radius", encode_f64(sc.params.radius));
+    v.set("speed", encode_f64(sc.params.speed));
+    v.set("model", json_value::string(mobility::model_kind_name(sc.model)));
+    v.set("walk_step_radius", encode_f64(sc.model_opts.walk_step_radius));
+    v.set("direction_max_leg", encode_f64(sc.model_opts.direction_max_leg));
+    v.set("mode", json_value::string(to_name(propagation_names, sc.mode, "mode")));
+    v.set("gossip_p", encode_f64(sc.gossip_p));
+    v.set("source", json_value::string(to_name(placement_names, sc.source, "source")));
+    v.set("seed", json_value::integer(sc.seed));
+    v.set("stationary_start", json_value::boolean(sc.stationary_start));
+    v.set("warmup_time", encode_f64(sc.warmup_time));
+    v.set("max_steps", json_value::integer(sc.max_steps));
+    v.set("record_timeline", json_value::boolean(sc.record_timeline));
+    v.set("with_cell_partition", json_value::boolean(sc.with_cell_partition));
+    json_value stop = json_value::object();
+    stop.set("how",
+             json_value::string(to_name(stop_kind_names, sc.spread.stop.how, "stop kind")));
+    stop.set("fraction", encode_f64(sc.spread.stop.fraction));
+    stop.set("steps", json_value::integer(sc.spread.stop.steps));
+    v.set("stop", std::move(stop));
+    json_value messages = json_value::array();
+    messages.items.reserve(sc.spread.messages.size());
+    for (const auto& msg : sc.spread.messages) {
+        json_value m = json_value::object();
+        m.set("sources", encode_source_spec(msg.sources));
+        m.set("spawn_step", json_value::integer(msg.spawn_step));
+        m.set("mode", json_value::string(to_name(propagation_names, msg.mode, "mode")));
+        m.set("gossip_p", encode_f64(msg.gossip_p));
+        m.set("gossip_seed", json_value::integer(msg.gossip_seed));
+        m.set("source_seed", json_value::integer(msg.source_seed));
+        messages.items.push_back(std::move(m));
+    }
+    v.set("messages", std::move(messages));
+    // intra_threads is deliberately absent: like --threads it is a
+    // wall-clock-only knob outside the fingerprint, and the server picks its
+    // own execution shape.
+    return v;
+}
+
+core::scenario decode_scenario(const json_value& v) {
+    core::scenario sc;
+    sc.params.n = u64_field(v, "n");
+    sc.params.side = f64_field(v, "side");
+    sc.params.radius = f64_field(v, "radius");
+    sc.params.speed = f64_field(v, "speed");
+    sc.model = mobility::parse_model_kind(str_field(v, "model"));
+    sc.model_opts.walk_step_radius = f64_field(v, "walk_step_radius");
+    sc.model_opts.direction_max_leg = f64_field(v, "direction_max_leg");
+    sc.mode = from_name(propagation_names, str_field(v, "mode"), "mode");
+    sc.gossip_p = f64_field(v, "gossip_p");
+    sc.source = from_name(placement_names, str_field(v, "source"), "source");
+    sc.seed = u64_field(v, "seed");
+    sc.stationary_start = bool_field(v, "stationary_start");
+    sc.warmup_time = f64_field(v, "warmup_time");
+    sc.max_steps = u64_field(v, "max_steps");
+    sc.record_timeline = bool_field(v, "record_timeline");
+    sc.with_cell_partition = bool_field(v, "with_cell_partition");
+    const json_value& stop = require(v, "stop");
+    sc.spread.stop.how = from_name(stop_kind_names, str_field(stop, "how"), "stop kind");
+    sc.spread.stop.fraction = f64_field(stop, "fraction");
+    sc.spread.stop.steps = u64_field(stop, "steps");
+    const json_value& messages = require(v, "messages");
+    if (messages.what != json_value::kind::array) {
+        bad("field 'messages' is not an array");
+    }
+    for (const json_value& m : messages.items) {
+        core::message_spec msg;
+        msg.sources = decode_source_spec(require(m, "sources"));
+        msg.spawn_step = u64_field(m, "spawn_step");
+        msg.mode = from_name(propagation_names, str_field(m, "mode"), "mode");
+        msg.gossip_p = f64_field(m, "gossip_p");
+        msg.gossip_seed = u64_field(m, "gossip_seed");
+        msg.source_seed = u64_field(m, "source_seed");
+        sc.spread.messages.push_back(std::move(msg));
+    }
+    return sc;
+}
+
+json_value encode_sweep_spec(const engine::sweep_spec& spec) {
+    json_value v = json_value::object();
+    v.set("base", encode_scenario(spec.base));
+    v.set("repetitions", json_value::integer(spec.repetitions));
+    v.set("standard_case", json_value::boolean(spec.standard_case));
+    json_value axes = json_value::object();
+    // Empty axes are omitted (absent = not swept), so a one-point spec stays
+    // one short line.
+    if (!spec.n.empty()) {
+        axes.set("n", encode_u64_array(spec.n));
+    }
+    if (!spec.c1.empty()) {
+        axes.set("c1", encode_f64_array(spec.c1));
+    }
+    if (!spec.radius.empty()) {
+        axes.set("radius", encode_f64_array(spec.radius));
+    }
+    if (!spec.speed.empty()) {
+        axes.set("speed", encode_f64_array(spec.speed));
+    }
+    if (!spec.speed_factor.empty()) {
+        axes.set("speed_factor", encode_f64_array(spec.speed_factor));
+    }
+    if (!spec.model.empty()) {
+        json_value arr = json_value::array();
+        for (const mobility::model_kind kind : spec.model) {
+            arr.items.push_back(json_value::string(mobility::model_kind_name(kind)));
+        }
+        axes.set("model", std::move(arr));
+    }
+    if (!spec.mode.empty()) {
+        json_value arr = json_value::array();
+        for (const core::propagation mode : spec.mode) {
+            arr.items.push_back(json_value::string(to_name(propagation_names, mode, "mode")));
+        }
+        axes.set("mode", std::move(arr));
+    }
+    if (!spec.gossip_p.empty()) {
+        axes.set("gossip_p", encode_f64_array(spec.gossip_p));
+    }
+    if (!spec.num_sources.empty()) {
+        axes.set("num_sources", encode_u64_array(spec.num_sources));
+    }
+    if (!spec.num_messages.empty()) {
+        axes.set("num_messages", encode_u64_array(spec.num_messages));
+    }
+    v.set("axes", std::move(axes));
+    return v;
+}
+
+engine::sweep_spec decode_sweep_spec(const json_value& v) {
+    engine::sweep_spec spec;
+    spec.base = decode_scenario(require(v, "base"));
+    spec.repetitions = u64_field(v, "repetitions");
+    spec.standard_case = bool_field(v, "standard_case");
+    const json_value& axes = require(v, "axes");
+    if (axes.what != json_value::kind::object) {
+        bad("field 'axes' is not an object");
+    }
+    if (axes.find("n") != nullptr) {
+        spec.n = decode_u64_array(axes, "n");
+    }
+    if (axes.find("c1") != nullptr) {
+        spec.c1 = decode_f64_array(axes, "c1");
+    }
+    if (axes.find("radius") != nullptr) {
+        spec.radius = decode_f64_array(axes, "radius");
+    }
+    if (axes.find("speed") != nullptr) {
+        spec.speed = decode_f64_array(axes, "speed");
+    }
+    if (axes.find("speed_factor") != nullptr) {
+        spec.speed_factor = decode_f64_array(axes, "speed_factor");
+    }
+    if (const json_value* arr = axes.find("model")) {
+        for (const json_value& item : arr->items) {
+            if (item.what != json_value::kind::string) {
+                bad("axis 'model' holds a non-string element");
+            }
+            spec.model.push_back(mobility::parse_model_kind(item.text));
+        }
+    }
+    if (const json_value* arr = axes.find("mode")) {
+        for (const json_value& item : arr->items) {
+            if (item.what != json_value::kind::string) {
+                bad("axis 'mode' holds a non-string element");
+            }
+            spec.mode.push_back(from_name(propagation_names, item.text, "mode"));
+        }
+    }
+    if (axes.find("gossip_p") != nullptr) {
+        spec.gossip_p = decode_f64_array(axes, "gossip_p");
+    }
+    if (axes.find("num_sources") != nullptr) {
+        spec.num_sources = decode_u64_array(axes, "num_sources");
+    }
+    if (axes.find("num_messages") != nullptr) {
+        spec.num_messages = decode_u64_array(axes, "num_messages");
+    }
+    return spec;
+}
+
+json_value encode_sweep_row(const engine::sweep_row& row) {
+    json_value v = json_value::object();
+    v.set("index", json_value::integer(row.point.index));
+    v.set("label", json_value::string(row.point.label));
+    v.set("scenario", encode_scenario(row.point.sc));
+    v.set("times", encode_f64_array(row.times));
+    v.set("summary", encode_summary(row.summary));
+    json_value ci = json_value::object();
+    ci.set("lo", encode_f64(row.mean_ci.lo));
+    ci.set("hi", encode_f64(row.mean_ci.hi));
+    v.set("mean_ci", std::move(ci));
+    v.set("completed_fraction", encode_f64(row.completed_fraction));
+    v.set("message_mean_times", encode_f64_array(row.message_mean_times));
+    v.set("message_completed_fraction", encode_f64_array(row.message_completed_fraction));
+    v.set("mean_cz_step",
+          row.mean_cz_step ? encode_f64(*row.mean_cz_step) : json_value::null());
+    v.set("max_cz_step", row.max_cz_step ? encode_f64(*row.max_cz_step) : json_value::null());
+    v.set("cz_fraction", encode_f64(row.cz_fraction));
+    v.set("suburb_diameter", encode_f64(row.suburb_diameter));
+    v.set("wall_seconds", encode_f64(row.wall_seconds));
+    return v;
+}
+
+engine::sweep_row decode_sweep_row(const json_value& v) {
+    engine::sweep_row row;
+    row.point.index = u64_field(v, "index");
+    row.point.label = str_field(v, "label");
+    row.point.sc = decode_scenario(require(v, "scenario"));
+    row.times = decode_f64_array(v, "times");
+    row.summary = decode_summary(require(v, "summary"));
+    const json_value& ci = require(v, "mean_ci");
+    row.mean_ci.lo = f64_field(ci, "lo");
+    row.mean_ci.hi = f64_field(ci, "hi");
+    row.completed_fraction = f64_field(v, "completed_fraction");
+    row.message_mean_times = decode_f64_array(v, "message_mean_times");
+    row.message_completed_fraction = decode_f64_array(v, "message_completed_fraction");
+    const json_value& mean_cz = require(v, "mean_cz_step");
+    if (mean_cz.what != json_value::kind::null) {
+        row.mean_cz_step = decode_f64(mean_cz, "mean_cz_step");
+    }
+    const json_value& max_cz = require(v, "max_cz_step");
+    if (max_cz.what != json_value::kind::null) {
+        row.max_cz_step = decode_f64(max_cz, "max_cz_step");
+    }
+    row.cz_fraction = f64_field(v, "cz_fraction");
+    row.suburb_diameter = f64_field(v, "suburb_diameter");
+    row.wall_seconds = f64_field(v, "wall_seconds");
+    return row;
+}
+
+}  // namespace manhattan::service

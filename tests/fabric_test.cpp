@@ -220,6 +220,45 @@ TEST(fabric_test, init_fabric_is_idempotent_and_rejects_mismatch) {
               engine::errc::state);
 }
 
+TEST(fabric_test, init_fabric_mismatch_names_the_first_differing_field) {
+    scratch_dir dir("diff");
+    const engine::sweep_spec sweep = small_spec();
+    (void)engine::init_fabric(dir.path(), sweep, 2);
+
+    // Same fingerprint inputs except one scenario field: the diagnostic must
+    // carry both digests and name exactly the field that disagrees.
+    engine::sweep_spec other = sweep;
+    other.base.seed = 43;
+    try {
+        (void)engine::init_fabric(dir.path(), other, 2);
+        FAIL() << "expected a state error";
+    } catch (const engine::error& e) {
+        EXPECT_EQ(e.cls(), engine::errc::state);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("already holds a different sweep"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find(engine::fingerprint_hex(engine::sweep_fingerprint(sweep))),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find(engine::fingerprint_hex(engine::sweep_fingerprint(other))),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("first difference: point 0: seed (42 vs 43)"),
+                  std::string::npos)
+            << what;
+    }
+
+    // A batch-size-only mismatch has identical specs — the diagnostic says so.
+    try {
+        (void)engine::init_fabric(dir.path(), sweep, 3);
+        FAIL() << "expected a state error";
+    } catch (const engine::error& e) {
+        EXPECT_NE(std::string{e.what()}.find("first difference: batch size"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 // ---------------------------------------------------------------- leases ---
 
 TEST(fabric_test, single_worker_drain_is_byte_identical_to_run_sweep) {

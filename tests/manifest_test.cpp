@@ -332,6 +332,66 @@ TEST(manifest_test, fingerprint_mismatch_hard_fails_with_diagnostic) {
                  engine::manifest_error);
 }
 
+TEST(manifest_test, mismatch_diagnostic_carries_both_digests) {
+    scratch_file file("digests.manifest");
+    const auto spec = small_spec();
+    (void)engine::run_sweep(spec, {.threads = 2}, {}, {.manifest_path = file.path()});
+
+    auto edited = spec;
+    edited.base.max_steps = 60'000;
+    try {
+        (void)engine::run_sweep(edited, {.threads = 2}, {},
+                                {.manifest_path = file.path()});
+        FAIL() << "resuming an edited spec must throw manifest_error";
+    } catch (const engine::manifest_error& e) {
+        // The message names both fingerprints in their canonical hex form.
+        const std::string what = e.what();
+        const std::string ledger =
+            engine::fingerprint_hex(engine::sweep_fingerprint(spec));
+        const std::string ours =
+            engine::fingerprint_hex(engine::sweep_fingerprint(edited));
+        EXPECT_NE(what.find(ledger), std::string::npos) << what;
+        EXPECT_NE(what.find(ours), std::string::npos) << what;
+    }
+}
+
+TEST(manifest_test, fingerprint_hex_is_canonical_lower_case) {
+    EXPECT_EQ(engine::fingerprint_hex(0x0123456789abcdefULL), "0123456789abcdef");
+    EXPECT_EQ(engine::fingerprint_hex(0), "0000000000000000");
+    EXPECT_EQ(engine::fingerprint_hex(0xffffffffffffffffULL), "ffffffffffffffff");
+}
+
+TEST(manifest_test, first_spec_difference_names_the_differing_field) {
+    const auto spec = small_spec();
+    const auto points = spec.expand();
+
+    // Identical expansions: no difference to report.
+    EXPECT_EQ(engine::first_spec_difference(points, spec.repetitions, points,
+                                            spec.repetitions),
+              "");
+
+    // Replica-count difference wins before any per-point field.
+    EXPECT_EQ(engine::first_spec_difference(points, 3, points, 5),
+              "repetitions (3 vs 5)");
+
+    // A per-point double difference reports the field and both bit patterns
+    // (the fingerprint hashes bits, so last-ulp differences are real).
+    auto other = spec;
+    other.c1 = {2.5, 3.25};
+    const auto other_points = other.expand();
+    const std::string diff = engine::first_spec_difference(
+        points, spec.repetitions, other_points, other.repetitions);
+    EXPECT_NE(diff.find("point 1: radius ("), std::string::npos) << diff;
+
+    // An integer field renders its values directly.
+    auto reseeded = spec;
+    reseeded.base.seed = 43;
+    const auto reseeded_points = reseeded.expand();
+    EXPECT_EQ(engine::first_spec_difference(points, spec.repetitions, reseeded_points,
+                                            reseeded.repetitions),
+              "point 0: seed (42 vs 43)");
+}
+
 // ------------------------------------------------------- atomic file sinks ---
 
 TEST(manifest_test, atomic_json_sink_publishes_closed_documents_per_row) {

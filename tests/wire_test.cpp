@@ -1,0 +1,381 @@
+// Wire-format tests: JSON parse/dump round trips, the strictness contract
+// (truncated documents, trailing garbage, type mismatches all throw), exact
+// IEEE-754 bit survival for doubles (NaN payloads, infinities, denormals,
+// negative zero), unknown-field tolerance, and full codec round trips for
+// scenario / sweep_spec / sweep_row.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "engine/manifest.h"
+#include "service/wire.h"
+
+namespace {
+
+namespace core = manhattan::core;
+namespace engine = manhattan::engine;
+namespace mobility = manhattan::mobility;
+namespace service = manhattan::service;
+
+using service::json_value;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// ------------------------------------------------------------- JSON model --
+
+TEST(Wire, DumpIsCompactAndOrdered) {
+    json_value v = json_value::object();
+    v.set("b", json_value::integer(2));
+    v.set("a", json_value::boolean(true));
+    json_value arr = json_value::array();
+    arr.items.push_back(json_value::null());
+    arr.items.push_back(json_value::string("x"));
+    v.set("list", std::move(arr));
+    EXPECT_EQ(service::dump(v), R"({"b":2,"a":true,"list":[null,"x"]})");
+}
+
+TEST(Wire, ParseRoundTripsDump) {
+    const std::string text =
+        R"({"n":1200,"name":"sweep","nested":{"flag":false,"items":[1,2,3]},"z":null})";
+    const json_value v = service::parse_json(text);
+    EXPECT_EQ(service::dump(v), text);
+}
+
+TEST(Wire, IntegersAreExactUint64) {
+    const json_value v = service::parse_json("{\"big\":18446744073709551615}");
+    EXPECT_EQ(service::u64_field(v, "big"), 18446744073709551615ULL);
+}
+
+TEST(Wire, StringEscapesRoundTrip) {
+    json_value v = json_value::object();
+    v.set("s", json_value::string("a\"b\\c\nd\te\x01f"));
+    const json_value back = service::parse_json(service::dump(v));
+    EXPECT_EQ(service::str_field(back, "s"), "a\"b\\c\nd\te\x01f");
+}
+
+TEST(Wire, UnicodeEscapesDecodeToUtf8) {
+    const json_value v = service::parse_json(R"({"s":"\u00e9\ud83d\ude00"})");
+    EXPECT_EQ(service::str_field(v, "s"), "\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Wire, ForeignFractionalNumbersParse) {
+    // Our encoders never emit these, but a foreign peer's extra fields must
+    // not break the parse.
+    const json_value v = service::parse_json(R"({"x":-1.5e3,"y":0.25})");
+    ASSERT_NE(v.find("x"), nullptr);
+    EXPECT_EQ(v.find("x")->what, json_value::kind::number);
+    EXPECT_DOUBLE_EQ(v.find("x")->real, -1500.0);
+}
+
+TEST(Wire, TruncatedDocumentsThrow) {
+    for (const char* text : {"", "{", "{\"a\"", "{\"a\":", "{\"a\":1", "[1,2",
+                             "\"abc", "{\"a\":1,", "tru", "{\"s\":\"\\u12\"}"}) {
+        EXPECT_THROW((void)service::parse_json(text), service::wire_error) << text;
+    }
+}
+
+TEST(Wire, TrailingGarbageThrows) {
+    EXPECT_THROW((void)service::parse_json("{\"a\":1} extra"), service::wire_error);
+    EXPECT_THROW((void)service::parse_json("1 2"), service::wire_error);
+}
+
+TEST(Wire, MalformedDocumentsThrow) {
+    for (const char* text : {"{a:1}", "{\"a\" 1}", "[1 2]", "{\"a\":01x}",
+                             "nul", "{\"s\":\"\x01\"}", "-"}) {
+        EXPECT_THROW((void)service::parse_json(text), service::wire_error) << text;
+    }
+}
+
+TEST(Wire, DeepNestingIsBounded) {
+    std::string text(100, '[');
+    text += std::string(100, ']');
+    EXPECT_THROW((void)service::parse_json(text), service::wire_error);
+}
+
+TEST(Wire, DuplicateKeysKeepFirst) {
+    const json_value v = service::parse_json(R"({"a":1,"a":2})");
+    EXPECT_EQ(service::u64_field(v, "a"), 1u);
+}
+
+TEST(Wire, FieldAccessorsThrowOnMissingOrMistyped) {
+    const json_value v = service::parse_json(R"({"n":3,"s":"x"})");
+    EXPECT_THROW((void)service::u64_field(v, "absent"), service::wire_error);
+    EXPECT_THROW((void)service::u64_field(v, "s"), service::wire_error);
+    EXPECT_THROW((void)service::bool_field(v, "n"), service::wire_error);
+    EXPECT_THROW((void)service::str_field(v, "n"), service::wire_error);
+}
+
+// ------------------------------------------------------------ f64 framing --
+
+TEST(Wire, DoublesSurviveBitExactly) {
+    const double denormal = std::numeric_limits<double>::denorm_min();
+    const double nan_payload =
+        std::bit_cast<double>(std::uint64_t{0x7ff8dead'beef0001ULL});
+    for (const double v :
+         {0.0, -0.0, 1.0, -1.0 / 3.0, denormal, -denormal,
+          std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::quiet_NaN(), nan_payload,
+          std::numeric_limits<double>::max(), std::numeric_limits<double>::min(),
+          std::numeric_limits<double>::epsilon()}) {
+        json_value obj = json_value::object();
+        obj.set("v", service::encode_f64(v));
+        const json_value back = service::parse_json(service::dump(obj));
+        EXPECT_EQ(bits(service::f64_field(back, "v")), bits(v));
+    }
+}
+
+TEST(Wire, NegativeZeroStaysDistinctFromZero) {
+    EXPECT_NE(service::dump(service::encode_f64(-0.0)),
+              service::dump(service::encode_f64(0.0)));
+}
+
+TEST(Wire, BadF64EncodingsThrow) {
+    EXPECT_THROW((void)service::decode_f64(json_value::string("abc"), "v"),
+                 service::wire_error);
+    EXPECT_THROW((void)service::decode_f64(json_value::string("XYZ0123456789abc"), "v"),
+                 service::wire_error);
+    EXPECT_THROW((void)service::decode_f64(json_value::integer(1), "v"),
+                 service::wire_error);
+}
+
+// ----------------------------------------------------------------- codecs --
+
+core::scenario rich_scenario() {
+    core::scenario sc;
+    sc.params = core::net_params::standard_case(1200, 9.5, 0.75);
+    sc.model = mobility::model_kind::random_walk;
+    sc.model_opts.walk_step_radius = 1.25;
+    sc.model_opts.direction_max_leg = 4.5;
+    sc.mode = core::propagation::gossip;
+    sc.gossip_p = 0.625;
+    sc.source = core::source_placement::corner_ne;
+    sc.seed = 0xdeadbeefcafef00dULL;
+    sc.stationary_start = false;
+    sc.warmup_time = 2.5;
+    sc.max_steps = 12'345;
+    sc.record_timeline = true;
+    sc.with_cell_partition = false;
+    sc.spread.stop = core::stop_rule::informed_fraction(0.9);
+    core::message_spec first;
+    first.sources = core::source_spec::at(core::source_placement::center_most, 3);
+    first.spawn_step = 7;
+    first.mode = core::propagation::per_component;
+    core::message_spec second;
+    second.sources = core::source_spec::agents({5, 9, 11});
+    second.spawn_step = 0;
+    second.mode = core::propagation::gossip;
+    second.gossip_p = 0.5;
+    second.gossip_seed = 77;
+    second.source_seed = 78;
+    sc.spread.messages = {first, second};
+    return sc;
+}
+
+void expect_same_scenario(const core::scenario& a, const core::scenario& b) {
+    EXPECT_EQ(a.params.n, b.params.n);
+    EXPECT_EQ(bits(a.params.side), bits(b.params.side));
+    EXPECT_EQ(bits(a.params.radius), bits(b.params.radius));
+    EXPECT_EQ(bits(a.params.speed), bits(b.params.speed));
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(bits(a.model_opts.walk_step_radius), bits(b.model_opts.walk_step_radius));
+    EXPECT_EQ(bits(a.model_opts.direction_max_leg), bits(b.model_opts.direction_max_leg));
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(bits(a.gossip_p), bits(b.gossip_p));
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.stationary_start, b.stationary_start);
+    EXPECT_EQ(bits(a.warmup_time), bits(b.warmup_time));
+    EXPECT_EQ(a.max_steps, b.max_steps);
+    EXPECT_EQ(a.record_timeline, b.record_timeline);
+    EXPECT_EQ(a.with_cell_partition, b.with_cell_partition);
+    EXPECT_EQ(a.spread.stop.how, b.spread.stop.how);
+    EXPECT_EQ(bits(a.spread.stop.fraction), bits(b.spread.stop.fraction));
+    EXPECT_EQ(a.spread.stop.steps, b.spread.stop.steps);
+    ASSERT_EQ(a.spread.messages.size(), b.spread.messages.size());
+    for (std::size_t i = 0; i < a.spread.messages.size(); ++i) {
+        const auto& ma = a.spread.messages[i];
+        const auto& mb = b.spread.messages[i];
+        EXPECT_EQ(ma.sources.how, mb.sources.how);
+        EXPECT_EQ(ma.sources.placement, mb.sources.placement);
+        EXPECT_EQ(ma.sources.count, mb.sources.count);
+        EXPECT_EQ(ma.sources.ids, mb.sources.ids);
+        EXPECT_EQ(ma.spawn_step, mb.spawn_step);
+        EXPECT_EQ(ma.mode, mb.mode);
+        EXPECT_EQ(bits(ma.gossip_p), bits(mb.gossip_p));
+        EXPECT_EQ(ma.gossip_seed, mb.gossip_seed);
+        EXPECT_EQ(ma.source_seed, mb.source_seed);
+    }
+}
+
+TEST(Wire, ScenarioRoundTrips) {
+    const core::scenario sc = rich_scenario();
+    const std::string text = service::dump(service::encode_scenario(sc));
+    const core::scenario back = service::decode_scenario(service::parse_json(text));
+    expect_same_scenario(sc, back);
+}
+
+TEST(Wire, ScenarioToleratesUnknownFields) {
+    json_value v = service::encode_scenario(rich_scenario());
+    v.set("future_knob", json_value::string("ignored"));
+    v.set("other", json_value::integer(7));
+    const core::scenario back = service::decode_scenario(v);
+    expect_same_scenario(rich_scenario(), back);
+}
+
+TEST(Wire, ScenarioRejectsMissingField) {
+    json_value v = service::encode_scenario(rich_scenario());
+    json_value pruned = json_value::object();
+    for (auto& [key, member] : v.members) {
+        if (key != "seed") {
+            pruned.set(key, std::move(member));
+        }
+    }
+    EXPECT_THROW((void)service::decode_scenario(pruned), service::wire_error);
+}
+
+TEST(Wire, ScenarioRejectsUnknownEnumName) {
+    json_value v = service::encode_scenario(rich_scenario());
+    for (auto& [key, member] : v.members) {
+        if (key == "mode") {
+            member = json_value::string("telepathy");
+        }
+    }
+    EXPECT_THROW((void)service::decode_scenario(v), service::wire_error);
+}
+
+engine::sweep_spec rich_spec() {
+    engine::sweep_spec spec;
+    spec.base = rich_scenario();
+    spec.repetitions = 5;
+    spec.standard_case = false;
+    spec.n = {400, 900};
+    spec.c1 = {2.5, 3.0};
+    spec.speed_factor = {0.5, 1.0};
+    spec.model = {mobility::model_kind::mrwp, mobility::model_kind::static_agents};
+    spec.mode = {core::propagation::one_hop, core::propagation::gossip};
+    spec.gossip_p = {0.25, 0.75};
+    spec.num_sources = {1, 4};
+    spec.num_messages = {2};
+    return spec;
+}
+
+TEST(Wire, SweepSpecRoundTrips) {
+    const engine::sweep_spec spec = rich_spec();
+    const std::string text = service::dump(service::encode_sweep_spec(spec));
+    const engine::sweep_spec back = service::decode_sweep_spec(service::parse_json(text));
+    expect_same_scenario(spec.base, back.base);
+    EXPECT_EQ(back.repetitions, spec.repetitions);
+    EXPECT_EQ(back.standard_case, spec.standard_case);
+    EXPECT_EQ(back.n, spec.n);
+    EXPECT_EQ(back.c1, spec.c1);
+    EXPECT_EQ(back.radius, spec.radius);
+    EXPECT_EQ(back.speed, spec.speed);
+    EXPECT_EQ(back.speed_factor, spec.speed_factor);
+    EXPECT_EQ(back.model, spec.model);
+    EXPECT_EQ(back.mode, spec.mode);
+    EXPECT_EQ(back.gossip_p, spec.gossip_p);
+    EXPECT_EQ(back.num_sources, spec.num_sources);
+    EXPECT_EQ(back.num_messages, spec.num_messages);
+}
+
+TEST(Wire, SweepSpecEmptyAxesStayEmpty) {
+    engine::sweep_spec spec;
+    spec.base = rich_scenario();
+    const engine::sweep_spec back =
+        service::decode_sweep_spec(service::encode_sweep_spec(spec));
+    EXPECT_TRUE(back.n.empty());
+    EXPECT_TRUE(back.c1.empty());
+    EXPECT_TRUE(back.model.empty());
+    EXPECT_TRUE(back.num_messages.empty());
+}
+
+TEST(Wire, SweepSpecPreservesFingerprint) {
+    engine::sweep_spec spec = rich_spec();
+    // expand() refuses a num_sources axis over explicit source id lists —
+    // keep the rest of the rich grid and drop the conflicting axis.
+    spec.num_sources.clear();
+    const engine::sweep_spec back =
+        service::decode_sweep_spec(service::encode_sweep_spec(spec));
+    const auto points = spec.expand();
+    const auto back_points = back.expand();
+    EXPECT_EQ(engine::sweep_fingerprint(points, spec.repetitions),
+              engine::sweep_fingerprint(back_points, back.repetitions));
+}
+
+engine::sweep_row rich_row() {
+    engine::sweep_row row;
+    row.point.sc = rich_scenario();
+    row.point.index = 3;
+    row.point.label = "n=1200 R=9.50";
+    row.times = {10.0, 12.0, std::numeric_limits<double>::infinity()};
+    row.summary.count = 3;
+    row.summary.mean = 11.0;
+    row.summary.stddev = 1.0;
+    row.summary.min = 10.0;
+    row.summary.max = 12.0;
+    row.summary.median = 11.0;
+    row.summary.p25 = 10.5;
+    row.summary.p75 = 11.5;
+    row.mean_ci = {9.5, 12.5};
+    row.completed_fraction = 2.0 / 3.0;
+    row.message_mean_times = {11.0, 13.5};
+    row.message_completed_fraction = {1.0, 0.5};
+    row.mean_cz_step = 8.25;
+    row.max_cz_step = 9.0;
+    row.cz_fraction = 1.0;
+    row.suburb_diameter = 14.7;
+    row.wall_seconds = 0.125;
+    return row;
+}
+
+TEST(Wire, SweepRowRoundTrips) {
+    const engine::sweep_row row = rich_row();
+    const std::string text = service::dump(service::encode_sweep_row(row));
+    const engine::sweep_row back = service::decode_sweep_row(service::parse_json(text));
+    expect_same_scenario(row.point.sc, back.point.sc);
+    EXPECT_EQ(back.point.index, row.point.index);
+    EXPECT_EQ(back.point.label, row.point.label);
+    ASSERT_EQ(back.times.size(), row.times.size());
+    for (std::size_t i = 0; i < row.times.size(); ++i) {
+        EXPECT_EQ(bits(back.times[i]), bits(row.times[i]));
+    }
+    EXPECT_EQ(back.summary.count, row.summary.count);
+    EXPECT_EQ(bits(back.summary.mean), bits(row.summary.mean));
+    EXPECT_EQ(bits(back.summary.p75), bits(row.summary.p75));
+    EXPECT_EQ(bits(back.mean_ci.lo), bits(row.mean_ci.lo));
+    EXPECT_EQ(bits(back.mean_ci.hi), bits(row.mean_ci.hi));
+    EXPECT_EQ(bits(back.completed_fraction), bits(row.completed_fraction));
+    EXPECT_EQ(back.message_mean_times.size(), row.message_mean_times.size());
+    ASSERT_TRUE(back.mean_cz_step.has_value());
+    EXPECT_EQ(bits(*back.mean_cz_step), bits(*row.mean_cz_step));
+    ASSERT_TRUE(back.max_cz_step.has_value());
+    EXPECT_EQ(bits(*back.max_cz_step), bits(*row.max_cz_step));
+    EXPECT_EQ(bits(back.cz_fraction), bits(row.cz_fraction));
+    EXPECT_EQ(bits(back.suburb_diameter), bits(row.suburb_diameter));
+    EXPECT_EQ(bits(back.wall_seconds), bits(row.wall_seconds));
+}
+
+TEST(Wire, SweepRowNullOptionalsRoundTrip) {
+    engine::sweep_row row = rich_row();
+    row.mean_cz_step.reset();
+    row.max_cz_step.reset();
+    const engine::sweep_row back =
+        service::decode_sweep_row(service::parse_json(service::dump(service::encode_sweep_row(row))));
+    EXPECT_FALSE(back.mean_cz_step.has_value());
+    EXPECT_FALSE(back.max_cz_step.has_value());
+}
+
+TEST(Wire, SweepRowTruncatedLineRejected) {
+    const std::string text = service::dump(service::encode_sweep_row(rich_row()));
+    // A partially transmitted line must never decode into a value.
+    for (const std::size_t keep : {text.size() / 4, text.size() / 2, text.size() - 1}) {
+        EXPECT_THROW((void)service::parse_json(text.substr(0, keep)), service::wire_error);
+    }
+}
+
+}  // namespace
