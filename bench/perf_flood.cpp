@@ -10,7 +10,7 @@
 // runs the identical simulation (same seed), so the per-row flooding_time
 // must agree across engines, and the emitted JSON shows it.
 //
-// Knobs: --n=10000,31623,100000 --threads=1,4,0 --reps=3 --c1=1.0 --seed=1
+// Knobs: --n=10000,31623,100000,1000000 --threads=1,4,0 --reps=3 --c1=1.0 --seed=1
 //        --max-steps=5000 --json=BENCH_flood.json
 //        --baseline=BENCH_flood.json --regress-tol=0.25
 //        --min-speedup=3 --min-speedup-cores=8 --overhead-tol=0.02
@@ -159,6 +159,10 @@ baseline_file parse_baseline(std::istream& in) {
 /// Compare measured rows against the baseline. Returns false (regression)
 /// when any matched row's throughput dropped by more than \p tolerance and
 /// the baseline host matches; prints one line per matched row either way.
+/// Measured rows the baseline lacks pass but warn (bench::note) — a freshly
+/// added axis point (new n, new thread count) is uncovered until the
+/// baseline is regenerated, and that gap should be visible in the log, not
+/// silent.
 bool check_baseline(const baseline_file& base, const std::vector<perf_row>& rows,
                     double tolerance) {
     const bool host_match = base.hardware_concurrency == engine::default_thread_count();
@@ -171,10 +175,12 @@ bool check_baseline(const baseline_file& base, const std::vector<perf_row>& rows
     bool ok = true;
     std::size_t matched = 0;
     for (const perf_row& row : rows) {
+        bool found = false;
         for (const baseline_row& ref : base.rows) {
             if (ref.n != row.n || ref.engine != row.engine || ref.threads != row.threads) {
                 continue;
             }
+            found = true;
             ++matched;
             const double ratio =
                 ref.steps_per_sec > 0.0 ? row.steps_per_sec / ref.steps_per_sec : 1.0;
@@ -185,6 +191,12 @@ bool check_baseline(const baseline_file& base, const std::vector<perf_row>& rows
                         regressed ? (host_match ? "  REGRESSION" : "  (slower)") : "");
             ok = ok && (!regressed || !host_match);
             break;
+        }
+        if (!found) {
+            bench::note("baseline has no (n=" + util::fmt(row.n) + ", " + row.engine + "/" +
+                        util::fmt(row.threads) +
+                        ") row — measured but not compared; regenerate the baseline "
+                        "(--json=) to cover it");
         }
     }
     if (matched == 0) {
@@ -240,7 +252,8 @@ int run(const util::cli_args& args) {
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const std::size_t reps = bench::replicas(args, 3);
     const auto max_steps = static_cast<std::uint64_t>(args.get_int("max-steps", 5000));
-    const auto n_list = bench::parse_list("n", args.get_string("n", "10000,31623,100000"));
+    const auto n_list =
+        bench::parse_list("n", args.get_string("n", "10000,31623,100000,1000000"));
     const auto thread_list = bench::parse_list("threads", args.get_string("threads", "1,4,0"));
 
     bench::banner("PERF", "intra-replica step-loop throughput (steps/sec vs n and threads)");

@@ -57,6 +57,17 @@ cell_partition::cell_partition(std::size_t n, double side, double radius,
     }
 }
 
+bool cell_partition::any_in_zone(std::span<const geom::vec2> positions,
+                                 std::span<const std::uint32_t> ids, zone z) const {
+    const std::uint8_t want = z == zone::central ? 1 : 0;
+    for (const std::uint32_t id : ids) {
+        if (in_central_[grid_.cell_id_of(positions[id])] == want) {
+            return true;
+        }
+    }
+    return false;
+}
+
 bool cell_partition::in_extended_suburb(geom::vec2 p) const {
     const double reach = 2.0 * suburb_diameter_;
     for (const std::size_t id : suburb_ids_) {

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geom/grid_spec.h"
@@ -48,6 +49,14 @@ class cell_partition {
     [[nodiscard]] zone zone_of_point(geom::vec2 p) const {
         return zone_of_cell(grid_.cell_id_of(p));
     }
+
+    /// Span kernel for the per-step zone metrics: whether any of
+    /// positions[ids[k]] lies in a \p z cell. Equivalent to calling
+    /// zone_of_point per id but without the per-call bounds checks — the
+    /// O(#uninformed)-per-step Central-Zone scan runs through this
+    /// (core/flooding.cpp).
+    [[nodiscard]] bool any_in_zone(std::span<const geom::vec2> positions,
+                                   std::span<const std::uint32_t> ids, zone z) const;
 
     [[nodiscard]] std::size_t central_cell_count() const noexcept { return central_count_; }
     [[nodiscard]] std::size_t suburb_cell_count() const noexcept {

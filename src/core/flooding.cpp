@@ -73,11 +73,13 @@ void flooding_sim::spawn(message_state& msg) {
     const std::size_t n = walker_.size();
     msg.sources = resolve_sources(msg.spec.sources, walker_.positions(),
                                   walker_.model().side(), msg.spec.source_seed);
-    msg.informed.assign(n, 0);
+    msg.touched.assign_zero(n);
+    msg.committed.assign_zero(n);
     msg.informed_at.assign(n, never_informed);
     msg.informed_list.reserve(n);
     for (const std::uint32_t id : msg.sources) {
-        msg.informed[id] = 1;
+        msg.touched.set(id);
+        msg.committed.set(id);
         msg.informed_at[id] = static_cast<std::uint32_t>(step_count_);
         msg.informed_list.push_back(id);
     }
@@ -86,13 +88,78 @@ void flooding_sim::spawn(message_state& msg) {
     msg.uninformed.reserve(n);
     msg.uninformed_slot.assign(n, 0);
     for (std::uint32_t a = 0; a < n; ++a) {
-        if (msg.informed[a] == 0) {
+        if (!msg.touched.test(a)) {
             msg.uninformed_slot[a] = static_cast<std::uint32_t>(msg.uninformed.size());
             msg.uninformed.push_back(a);
         }
     }
     msg.spawned = true;
     update_zone_metrics(msg);
+}
+
+/// Decide whether a scan is worth skip tables and build them if so. The
+/// occupancy counts come from the uninformed id list (O(#uninformed)); the
+/// committed side is its complement against the bucket sizes (between scans
+/// touched == committed, so #committed = bucket size - #uninformed in every
+/// bucket). The decision compares the scan's potential savings (queries x
+/// average bucket occupancy) against the build cost — purely a function of
+/// already-deterministic counts, so serial and parallel paths always agree.
+bool flooding_sim::prepare_skip_tables(const message_state& msg, std::size_t scan_size,
+                                       bool uninformed) {
+    const std::size_t buckets = grid_.bucket_count();
+    const std::size_t n = walker_.size();
+    const std::size_t build_cost = msg.uninformed.size() + 4 * buckets;
+    if (scan_size * n < 2 * build_cost * buckets) {
+        return false;
+    }
+    bucket_counts_.assign(buckets, 0);
+    for (const std::uint32_t a : msg.uninformed) {
+        ++bucket_counts_[grid_.bucket_of_item(a)];
+    }
+    if (!uninformed) {
+        for (std::size_t b = 0; b < buckets; ++b) {
+            const auto size = static_cast<std::uint32_t>(grid_.bucket_end(b) -
+                                                         grid_.bucket_begin(b));
+            bucket_counts_[b] = size - bucket_counts_[b];
+        }
+    }
+    sum_bucket_neighborhoods();
+    return true;
+}
+
+/// nb_counts_[b] = sum of bucket_counts_ over b's clamped 3x3 neighbourhood,
+/// computed separably (horizontal then vertical pass, O(#buckets) each).
+void flooding_sim::sum_bucket_neighborhoods() {
+    const auto m = static_cast<std::size_t>(grid_.buckets_per_side());
+    const std::size_t buckets = m * m;
+    nb_row_.resize(buckets);
+    nb_counts_.resize(buckets);
+    for (std::size_t y = 0; y < m; ++y) {
+        const std::size_t row = y * m;
+        for (std::size_t x = 0; x < m; ++x) {
+            std::uint32_t sum = bucket_counts_[row + x];
+            if (x > 0) {
+                sum += bucket_counts_[row + x - 1];
+            }
+            if (x + 1 < m) {
+                sum += bucket_counts_[row + x + 1];
+            }
+            nb_row_[row + x] = sum;
+        }
+    }
+    for (std::size_t y = 0; y < m; ++y) {
+        const std::size_t row = y * m;
+        for (std::size_t x = 0; x < m; ++x) {
+            std::uint32_t sum = nb_row_[row + x];
+            if (y > 0) {
+                sum += nb_row_[row - m + x];
+            }
+            if (y + 1 < m) {
+                sum += nb_row_[row + m + x];
+            }
+            nb_counts_[row + x] = sum;
+        }
+    }
 }
 
 /// Neighbourhood scan over informed-list slots [0, informed_before) whose
@@ -105,6 +172,14 @@ void flooding_sim::spawn(message_state& msg) {
 void flooding_sim::scan_transmitters(message_state& msg, std::size_t informed_before,
                                      const std::uint8_t* transmit) {
     const auto positions = walker_.positions();
+    const auto items = grid_.items();
+    const auto sorted = grid_.sorted_points();
+    const double r2 = radius_ * radius_;
+    // Skip tables over the *uninformed* side: a transmitter whose 3x3 bucket
+    // neighbourhood holds no uninformed agent cannot discover anyone, so its
+    // whole radius query is skipped; within a query, buckets with no
+    // uninformed agent are skipped bucket-wise.
+    const bool use_skip = prepare_skip_tables(msg, informed_before, /*uninformed=*/true);
 
     if (exec_ == nullptr) {
         for (std::size_t k = 0; k < informed_before; ++k) {
@@ -112,12 +187,22 @@ void flooding_sim::scan_transmitters(message_state& msg, std::size_t informed_be
                 continue;
             }
             const std::uint32_t b = msg.informed_list[k];
-            grid_.for_each_in_radius(positions[b], radius_, [&](std::uint32_t a) {
-                if (msg.informed[a] == 0) {
-                    msg.informed[a] = 2;  // mark "newly informed" so we don't re-add
-                    newly_.push_back(a);
-                }
-            });
+            const geom::vec2 p = positions[b];
+            if (use_skip && nb_counts_[grid_.bucket_of_item(b)] == 0) {
+                continue;
+            }
+            grid_.visit_covering_buckets(
+                p, radius_, [&](std::size_t bucket, std::size_t begin, std::size_t end) {
+                    if (!use_skip || bucket_counts_[bucket] != 0) {
+                        for (std::size_t s = begin; s < end; ++s) {
+                            if (geom::dist2(sorted[s], p) <= r2 && !msg.touched.test(items[s])) {
+                                msg.touched.set(items[s]);  // don't re-add this step
+                                newly_.push_back(items[s]);
+                            }
+                        }
+                    }
+                    return false;
+                });
         }
         return;
     }
@@ -142,7 +227,9 @@ void flooding_sim::scan_transmitters(message_state& msg, std::size_t informed_be
 
     // Parallel phase: read-only on the message's informed state, the grid
     // and positions; every lane writes only its own buffers. Cross-lane
-    // duplicates are possible and resolved by the ordered merge below.
+    // duplicates are possible and resolved by the ordered merge below. The
+    // skip tables are frozen before the fan-out, so every lane consults the
+    // same (exact, scan-start) counts the serial path starts from.
     exec_->run(informed_before, [&](std::size_t lane, std::size_t begin, std::size_t end) {
         auto& out = lane_newly_[lane];
         auto& seen = lane_seen_[lane];
@@ -152,19 +239,31 @@ void flooding_sim::scan_transmitters(message_state& msg, std::size_t informed_be
                 continue;
             }
             const std::uint32_t b = msg.informed_list[k];
-            grid_.for_each_in_radius(positions[b], radius_, [&](std::uint32_t a) {
-                if (msg.informed[a] == 0 && seen[a] != epoch) {
-                    seen[a] = epoch;
-                    out.push_back(a);
-                }
-            });
+            const geom::vec2 p = positions[b];
+            if (use_skip && nb_counts_[grid_.bucket_of_item(b)] == 0) {
+                continue;
+            }
+            grid_.visit_covering_buckets(
+                p, radius_, [&](std::size_t bucket, std::size_t bkt_begin, std::size_t bkt_end) {
+                    if (!use_skip || bucket_counts_[bucket] != 0) {
+                        for (std::size_t s = bkt_begin; s < bkt_end; ++s) {
+                            const std::uint32_t a = items[s];
+                            if (geom::dist2(sorted[s], p) <= r2 && !msg.touched.test(a) &&
+                                seen[a] != epoch) {
+                                seen[a] = epoch;
+                                out.push_back(a);
+                            }
+                        }
+                    }
+                    return false;
+                });
         }
     });
 
     for (const auto& out : lane_newly_) {
         for (const std::uint32_t a : out) {
-            if (msg.informed[a] == 0) {
-                msg.informed[a] = 2;
+            if (!msg.touched.test(a)) {
+                msg.touched.set(a);
                 newly_.push_back(a);
             }
         }
@@ -178,19 +277,50 @@ void flooding_sim::scan_transmitters(message_state& msg, std::size_t informed_be
 void flooding_sim::scan_uninformed(message_state& msg) {
     const auto positions = walker_.positions();
     const std::size_t n = walker_.size();
+    const auto items = grid_.items();
+    const auto sorted = grid_.sorted_points();
+    const double r2 = radius_ * radius_;
+    // Skip tables over the *committed* side: an uninformed agent with no
+    // committed transmitter anywhere in its 3x3 bucket neighbourhood cannot
+    // be informed this step. The committed set is immutable during the scan,
+    // so the counts stay exact throughout.
+    const bool use_skip = prepare_skip_tables(msg, msg.uninformed.size(), /*uninformed=*/false);
+
+    // Whether a committed transmitter sits within the radius of agent \p a.
+    // Probe order is the grid scan order (first hit stops early); only the
+    // hit/no-hit outcome matters, and skips never change it.
+    const auto probe = [&](std::size_t a) -> bool {
+        const geom::vec2 p = positions[a];
+        if (use_skip && nb_counts_[grid_.bucket_of_item(a)] == 0) {
+            return false;
+        }
+        return grid_.visit_covering_buckets(
+            p, radius_, [&](std::size_t bucket, std::size_t begin, std::size_t end) {
+                if (use_skip && bucket_counts_[bucket] == 0) {
+                    return false;
+                }
+                for (std::size_t s = begin; s < end; ++s) {
+                    if (geom::dist2(sorted[s], p) <= r2 && msg.committed.test(items[s])) {
+                        return true;
+                    }
+                }
+                return false;
+            });
+    };
 
     if (exec_ == nullptr) {
-        for (std::uint32_t a = 0; a < n; ++a) {
-            if (msg.informed[a] != 0) {
-                continue;
+        // for_each_clear enumerates exactly the still-uninformed agents in
+        // ascending id order, skipping fully-informed 64-agent words with a
+        // single compare. Setting the visited bit inside the callback is
+        // fine (snapshot semantics, util/bitset.h) — and required for the
+        // serial discovery order: an agent informed here must not inform
+        // others until committed, which `committed` already guarantees.
+        msg.touched.for_each_clear(0, n, [&](std::size_t a) {
+            if (probe(a)) {
+                msg.touched.set(a);
+                newly_.push_back(static_cast<std::uint32_t>(a));
             }
-            const bool hit = grid_.any_in_radius(
-                positions[a], radius_, [&](std::uint32_t b) { return msg.informed[b] == 1; });
-            if (hit) {
-                msg.informed[a] = 2;
-                newly_.push_back(a);
-            }
-        }
+        });
         return;
     }
 
@@ -201,20 +331,15 @@ void flooding_sim::scan_uninformed(message_state& msg) {
     }
     exec_->run(n, [&](std::size_t lane, std::size_t begin, std::size_t end) {
         auto& out = lane_newly_[lane];
-        for (std::size_t a = begin; a < end; ++a) {
-            if (msg.informed[a] != 0) {
-                continue;
-            }
-            const bool hit = grid_.any_in_radius(
-                positions[a], radius_, [&](std::uint32_t b) { return msg.informed[b] == 1; });
-            if (hit) {
+        msg.touched.for_each_clear(begin, end, [&](std::size_t a) {
+            if (probe(a)) {
                 out.push_back(static_cast<std::uint32_t>(a));
             }
-        }
+        });
     });
     for (const auto& out : lane_newly_) {
         for (const std::uint32_t a : out) {
-            msg.informed[a] = 2;
+            msg.touched.set(a);
             newly_.push_back(a);
         }
     }
@@ -287,12 +412,12 @@ void flooding_sim::propagate_per_component(message_state& msg) {
     for (const std::uint32_t b : msg.informed_list) {
         root_informed_[dsu_.find(b)] = 1;
     }
-    for (std::uint32_t a = 0; a < n; ++a) {
-        if (msg.informed[a] == 0 && root_informed_[dsu_.find(a)] != 0) {
-            msg.informed[a] = 2;
-            newly_.push_back(a);
+    msg.touched.for_each_clear(0, n, [&](std::size_t a) {
+        if (root_informed_[dsu_.find(a)] != 0) {
+            msg.touched.set(a);
+            newly_.push_back(static_cast<std::uint32_t>(a));
         }
-    }
+    });
 }
 
 void flooding_sim::propagate_gossip(message_state& msg) {
@@ -327,7 +452,7 @@ void flooding_sim::propagate(message_state& msg) {
 void flooding_sim::commit(message_state& msg) {
     const auto positions = walker_.positions();
     for (const std::uint32_t a : newly_) {
-        msg.informed[a] = 1;
+        msg.committed.set(a);  // touched was set at discovery
         msg.informed_at[a] = static_cast<std::uint32_t>(step_count_);
         msg.informed_list.push_back(a);
         // Swap-remove from the uninformed set (order there is irrelevant:
@@ -353,13 +478,9 @@ void flooding_sim::update_zone_metrics(message_state& msg) {
     }
     // Only still-uninformed agents can block the Central Zone, so the scan
     // shrinks with the flood instead of rescanning all n agents every step.
-    const auto positions = walker_.positions();
-    for (const std::uint32_t a : msg.uninformed) {
-        if (cells_->zone_of_point(positions[a]) == zone::central) {
-            return;  // an uninformed agent sits in a Central-Zone cell
-        }
+    if (!cells_->any_in_zone(walker_.positions(), msg.uninformed, zone::central)) {
+        msg.cz_informed_step = step_count_;
     }
-    msg.cz_informed_step = step_count_;
 }
 
 bool flooding_sim::stop_satisfied(const message_state& msg) const {

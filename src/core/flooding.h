@@ -23,6 +23,7 @@
 #include "graph/union_find.h"
 #include "mobility/walker.h"
 #include "rng/rng.h"
+#include "util/bitset.h"
 #include "util/parallel.h"
 #include "util/telemetry.h"
 
@@ -102,10 +103,10 @@ class flooding_sim {
     [[nodiscard]] std::uint64_t steps_taken() const noexcept { return step_count_; }
     /// Whether agent \p i holds message 0 / message \p m.
     [[nodiscard]] bool is_informed(std::size_t i) const {
-        return !messages_.front().informed.empty() && messages_.front().informed[i] != 0;
+        return messages_.front().spawned && messages_.front().touched.test(i);
     }
     [[nodiscard]] bool is_informed(std::size_t m, std::size_t i) const {
-        return !messages_.at(m).informed.empty() && messages_.at(m).informed[i] != 0;
+        return messages_.at(m).spawned && messages_.at(m).touched.test(i);
     }
     [[nodiscard]] const mobility::walker& agents() const noexcept { return walker_; }
     [[nodiscard]] double radius() const noexcept { return radius_; }
@@ -117,13 +118,21 @@ class flooding_sim {
     [[nodiscard]] const util::phase_profile& profile() const noexcept { return profile_; }
 
  private:
-    /// Per-message spread state. The informed bitmap, informing order and
+    /// Per-message spread state. The informed bitmaps, informing order and
     /// uninformed-set bookkeeping are exactly the single-message engine's,
     /// one copy per message; the grid/positions they scan are shared.
+    ///
+    /// The informed state is two packed bitsets (util/bitset.h) instead of
+    /// the old one-byte-per-agent 0/1/2 array: `touched` holds state != 0
+    /// (informed at any point, including this step's scan) and `committed`
+    /// holds state == 1 (informed before this step — the transmitting set).
+    /// The scans only ever test those two predicates, and packing them cuts
+    /// the scans' memory traffic 8x.
     struct message_state {
         message_spec spec;
         bool spawned = false;
-        std::vector<std::uint8_t> informed;
+        util::bitset64 touched;    ///< informed at any point (state != 0)
+        util::bitset64 committed;  ///< informed before this step's scan (state == 1)
         std::vector<std::uint32_t> informed_at;
         std::vector<std::uint32_t> informed_list;  ///< ids in informing order
         std::size_t informed_count = 0;
@@ -151,6 +160,16 @@ class flooding_sim {
     void scan_transmitters(message_state& msg, std::size_t informed_before,
                            const std::uint8_t* transmit);
     void scan_uninformed(message_state& msg);
+    /// Build the per-bucket / 3x3-neighbourhood occupancy skip tables for a
+    /// scan (bucket_counts_ / nb_counts_). `uninformed` selects which side
+    /// is counted: the still-uninformed agents (transmitter scans skip
+    /// neighbourhoods with none to discover) or the committed informed
+    /// (uninformed scans skip agents with no possible informer nearby).
+    /// Returns false — tables untouched — when the scan is too small to
+    /// amortize the O(#buckets) build; skipping is then simply disabled.
+    [[nodiscard]] bool prepare_skip_tables(const message_state& msg, std::size_t scan_size,
+                                           bool uninformed);
+    void sum_bucket_neighborhoods();
     void commit(message_state& msg);
     void update_zone_metrics(message_state& msg);
     void build_components();
@@ -182,6 +201,18 @@ class flooding_sim {
     std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> lane_edges_;
     graph::union_find dsu_{0};
     std::vector<std::uint8_t> root_informed_;
+
+    // Scan skip tables (prepare_skip_tables): per-bucket occupancy counts of
+    // one side of the scan and their 3x3-neighbourhood sums. A radius query's
+    // covering rectangle is a subset of the 3x3 neighbourhood of the center's
+    // bucket (bucket side >= radius), so a zero neighbourhood sum proves the
+    // query cannot yield a candidate and the whole query is skipped — a pure
+    // subset optimisation that cannot change the discovered set or its order.
+    // Counts are taken before a scan and not maintained during it (the
+    // uninformed side only shrinks, so stale zeros stay correct).
+    std::vector<std::uint32_t> bucket_counts_;
+    std::vector<std::uint32_t> nb_row_;     ///< row-wise partial sums (scratch)
+    std::vector<std::uint32_t> nb_counts_;  ///< 3x3 sums of bucket_counts_
 };
 
 }  // namespace manhattan::core

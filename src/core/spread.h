@@ -179,6 +179,10 @@ struct message_result {
     /// Step at which the last agent *located in the Suburb at informing
     /// time* was informed (0 when partition absent or no such agent).
     std::uint64_t last_suburb_informed_step = 0;
+
+    /// Every field is integral, so member-wise equality is bit-equality —
+    /// the determinism suites compare whole results with it.
+    friend bool operator==(const message_result&, const message_result&) = default;
 };
 
 /// Everything a spread run produces: per-message results plus the shared
@@ -187,6 +191,8 @@ struct spread_result {
     bool completed = false;    ///< every message satisfied the stop rule
     std::uint64_t steps = 0;   ///< steps the shared mobility trace advanced
     std::vector<message_result> messages;  ///< spec order
+
+    friend bool operator==(const spread_result&, const spread_result&) = default;
 };
 
 /// Everything a flooding run produces (the single-message view; see
@@ -199,6 +205,8 @@ struct flood_result {
     std::vector<std::size_t> timeline;       ///< informed count after each step
     std::optional<std::uint64_t> central_zone_informed_step;
     std::uint64_t last_suburb_informed_step = 0;
+
+    friend bool operator==(const flood_result&, const flood_result&) = default;
 };
 
 /// The single-message view of a spread run: message \p m of \p result as the

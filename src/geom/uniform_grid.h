@@ -76,6 +76,50 @@ class uniform_grid {
     /// Indices of all points within distance r of p (allocating convenience).
     [[nodiscard]] std::vector<std::uint32_t> query(vec2 p, double r) const;
 
+    // ---- bucket metadata for span-based kernels (core/flooding.cpp) ----
+    // The counting sort already computes everything a caller needs to build
+    // per-bucket occupancy tables; these accessors expose it read-only. All
+    // of them reflect the state as of the last rebuild.
+
+    [[nodiscard]] std::size_t bucket_count() const noexcept { return offsets_.size() - 1; }
+    /// Bucket holding input point \p i (i indexes the span passed to rebuild).
+    [[nodiscard]] std::uint32_t bucket_of_item(std::size_t i) const noexcept {
+        return bucket_of_[i];
+    }
+    /// Item-range bounds of bucket \p b (indices into items()/sorted_points()).
+    [[nodiscard]] std::size_t bucket_begin(std::size_t b) const noexcept { return offsets_[b]; }
+    [[nodiscard]] std::size_t bucket_end(std::size_t b) const noexcept {
+        return offsets_[b + 1];
+    }
+    /// Input indices grouped by bucket / their positions, bucket-sorted.
+    [[nodiscard]] std::span<const std::uint32_t> items() const noexcept { return items_; }
+    [[nodiscard]] std::span<const vec2> sorted_points() const noexcept {
+        return sorted_points_;
+    }
+
+    /// Visit the covering bucket rectangle of a radius-r query around \p p in
+    /// row-major order, as fn(bucket id, item begin, item end) — the same
+    /// ranges (and order) for_each_in_radius scans, with the bucket id
+    /// exposed so kernels can consult per-bucket occupancy tables first.
+    /// Stops early when \p fn returns true; returns whether any call did.
+    template <typename Fn>
+    bool visit_covering_buckets(vec2 p, double r, Fn&& fn) const {
+        const std::int32_t x0 = bucket_index(p.x - r);
+        const std::int32_t x1 = bucket_index(p.x + r);
+        const std::int32_t y0 = bucket_index(p.y - r);
+        const std::int32_t y1 = bucket_index(p.y + r);
+        for (std::int32_t by = y0; by <= y1; ++by) {
+            const std::size_t row = static_cast<std::size_t>(by) * static_cast<std::size_t>(m_);
+            for (std::int32_t bx = x0; bx <= x1; ++bx) {
+                const std::size_t b = row + static_cast<std::size_t>(bx);
+                if (fn(b, offsets_[b], offsets_[b + 1])) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
  private:
     [[nodiscard]] std::int32_t bucket_index(double v) const noexcept;
     [[nodiscard]] std::size_t bucket_of(vec2 p) const noexcept {

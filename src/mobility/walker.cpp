@@ -16,59 +16,60 @@ walker::walker(std::shared_ptr<const mobility_model> model, std::size_t n, doubl
     if (speed < 0.0) {
         throw std::invalid_argument("walker: speed must be non-negative");
     }
-    agents_.reserve(n);
+    soa_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         if (start == start_mode::stationary) {
-            agents_.push_back(model_->stationary_state(gen_));
+            soa_.set(i, model_->stationary_state(gen_));
         } else {
             trip_state s;
             s.pos = {gen_.uniform(0.0, model_->side()), gen_.uniform(0.0, model_->side())};
             model_->begin_trip(s, gen_);
-            agents_.push_back(s);
+            soa_.set(i, s);
         }
     }
     turn_counts_.assign(n, 0);
     arrival_counts_.assign(n, 0);
-    positions_.resize(n);
-    refresh_positions();
+}
+
+void walker::advance_all(double distance, util::parallel_executor* ex) {
+    const std::size_t lanes = ex != nullptr ? ex->lanes() : 1;
+    pending_.resize(lanes);
+    for (auto& pending : pending_) {
+        pending.clear();  // run() skips empty ranges; drop stale lane content
+    }
+    if (ex != nullptr) {
+        ex->run(soa_.size(), [&](std::size_t lane, std::size_t begin, std::size_t end) {
+            advance_lane(*model_, soa_, begin, end, distance, turn_counts_.data(),
+                         arrival_counts_.data(), pending_[lane]);
+        });
+    } else {
+        advance_lane(*model_, soa_, 0, soa_.size(), distance, turn_counts_.data(),
+                     arrival_counts_.data(), pending_[0]);
+    }
+    // Lanes are contiguous ascending ranges, so draining them in lane order
+    // visits pending agents in ascending id — the serial draw order.
+    for (const auto& pending : pending_) {
+        resume_pending(pending);
+    }
+}
+
+void walker::resume_pending(const std::vector<pending_trip>& pending) {
+    for (const auto& [agent, partial] : pending) {
+        trip_state s = soa_.get(agent);
+        const advance_events ev = advance_resume(*model_, s, partial, gen_);
+        soa_.set(agent, s);
+        turn_counts_[agent] += ev.turns;
+        arrival_counts_[agent] += ev.arrivals;
+    }
 }
 
 void walker::step() {
-    for (std::size_t i = 0; i < agents_.size(); ++i) {
-        const advance_events ev = advance(*model_, agents_[i], speed_, gen_);
-        turn_counts_[i] += ev.turns;
-        arrival_counts_[i] += ev.arrivals;
-    }
+    advance_all(speed_, nullptr);
     ++steps_;
-    refresh_positions();
 }
 
 void walker::step(util::parallel_executor& ex) {
-    pending_.resize(ex.lanes());
-    ex.run(agents_.size(), [&](std::size_t lane, std::size_t begin, std::size_t end) {
-        auto& pending = pending_[lane];
-        pending.clear();
-        for (std::size_t i = begin; i < end; ++i) {
-            const partial_advance p = advance_deterministic(*model_, agents_[i], speed_);
-            turn_counts_[i] += p.events.turns;
-            arrival_counts_[i] += p.events.arrivals;
-            if (p.needs_trip) {
-                pending.push_back({static_cast<std::uint32_t>(i), p});
-            } else {
-                positions_[i] = agents_[i].pos;
-            }
-        }
-    });
-    // Lanes are contiguous ascending ranges, so draining them in lane order
-    // visits pending agents in ascending id — the serial draw order.
-    for (auto& pending : pending_) {
-        for (const auto& [agent, partial] : pending) {
-            const advance_events ev = advance_resume(*model_, agents_[agent], partial, gen_);
-            turn_counts_[agent] += ev.turns;
-            arrival_counts_[agent] += ev.arrivals;
-            positions_[agent] = agents_[agent].pos;
-        }
-    }
+    advance_all(speed_, &ex);
     ++steps_;
 }
 
@@ -76,24 +77,21 @@ void walker::advance_time(double duration) {
     if (duration < 0.0) {
         throw std::invalid_argument("walker::advance_time: duration must be non-negative");
     }
-    const double distance = duration * speed_;
-    for (std::size_t i = 0; i < agents_.size(); ++i) {
-        const advance_events ev = advance(*model_, agents_[i], distance, gen_);
-        turn_counts_[i] += ev.turns;
-        arrival_counts_[i] += ev.arrivals;
+    advance_all(duration * speed_, nullptr);
+}
+
+trip_state walker::agent(std::size_t i) const {
+    if (i >= soa_.size()) {
+        throw std::out_of_range("walker::agent: index out of range");
     }
-    refresh_positions();
+    return soa_.get(i);
 }
 
 void walker::set_agent(std::size_t i, const trip_state& s) {
-    agents_.at(i) = s;
-    positions_.at(i) = s.pos;
-}
-
-void walker::refresh_positions() {
-    for (std::size_t i = 0; i < agents_.size(); ++i) {
-        positions_[i] = agents_[i].pos;
+    if (i >= soa_.size()) {
+        throw std::out_of_range("walker::set_agent: index out of range");
     }
+    soa_.set(i, s);
 }
 
 }  // namespace manhattan::mobility

@@ -1,6 +1,9 @@
 /// \file walker.h
 /// The population driver: n agents sharing one mobility model, advanced in
 /// lockstep by one speed-v step at a time (the paper's discrete time unit).
+/// Agent state lives in structure-of-arrays spans (mobility/walker_soa.h);
+/// the positions span is the storage the spatial index and the propagation
+/// scans read directly — no per-step repacking.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +13,7 @@
 
 #include "mobility/model.h"
 #include "mobility/trip.h"
+#include "mobility/walker_soa.h"
 #include "rng/rng.h"
 #include "util/parallel.h"
 
@@ -22,6 +26,14 @@ enum class start_mode {
 };
 
 /// A population of n agents moving per a shared mobility model.
+///
+/// Every advance is two-phase: the RNG-free kinematics (advance_lane over
+/// the SoA spans) first, then the pending trip draws replayed serially in
+/// ascending agent-id order — consuming gen_ exactly as a draw-interleaved
+/// per-agent loop would, since the kinematics never reads the generator.
+/// The serial and parallel paths are the same kernel at different lane
+/// counts, so positions, trip states and the generator state are
+/// bit-identical at any lane count (docs/PERF.md).
 class walker {
  public:
     /// Throws if n == 0 or speed < 0.
@@ -31,11 +43,8 @@ class walker {
     /// Advance every agent by one time unit (travel distance = speed).
     void step();
 
-    /// Parallel step(): the RNG-free kinematics fan over \p ex's lanes, then
-    /// the pending trip draws replay serially in agent-id order — consuming
-    /// gen_ in exactly the order the serial step() does, so positions, trip
-    /// states and the generator state are bit-identical to step() at any
-    /// lane count (see docs/PERF.md).
+    /// Parallel step(): the kinematics fan over \p ex's lanes; outputs are
+    /// bit-identical to step() at any lane count (see class comment).
     void step(util::parallel_executor& ex);
 
     /// Advance every agent by \p duration time units without per-step
@@ -43,15 +52,24 @@ class walker {
     /// O(#trips), not O(#steps)).
     void advance_time(double duration);
 
-    [[nodiscard]] std::size_t size() const noexcept { return agents_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return soa_.size(); }
     [[nodiscard]] double speed() const noexcept { return speed_; }
     [[nodiscard]] const mobility_model& model() const noexcept { return *model_; }
     [[nodiscard]] std::uint64_t steps_taken() const noexcept { return steps_; }
 
     /// Positions of all agents, contiguous (index-aligned with agent ids).
-    [[nodiscard]] std::span<const geom::vec2> positions() const noexcept { return positions_; }
+    /// This is the SoA storage itself — valid for the walker's lifetime,
+    /// elements updated in place by step().
+    [[nodiscard]] std::span<const geom::vec2> positions() const noexcept {
+        return soa_.positions();
+    }
 
-    [[nodiscard]] const trip_state& agent(std::size_t i) const { return agents_.at(i); }
+    /// One agent's state, gathered from the field arrays. Returned by value
+    /// (the AoS view no longer exists in memory); throws on out-of-range i.
+    [[nodiscard]] trip_state agent(std::size_t i) const;
+
+    /// The underlying field arrays (span-based kernels).
+    [[nodiscard]] const walker_soa& state() const noexcept { return soa_; }
 
     /// Cumulative direction changes per agent since construction (Lemma 13).
     [[nodiscard]] std::span<const std::uint64_t> turn_counts() const noexcept {
@@ -67,20 +85,15 @@ class walker {
     void set_agent(std::size_t i, const trip_state& s);
 
  private:
-    void refresh_positions();
-
-    /// An agent whose parallel-phase advance stopped at a destination and
-    /// still owes a trip draw (plus possibly more travel).
-    struct pending_trip {
-        std::uint32_t agent = 0;
-        partial_advance partial;
-    };
+    /// Advance all agents by \p distance: lane kernel (serial or over \p ex),
+    /// then the pending draws in ascending agent-id order.
+    void advance_all(double distance, util::parallel_executor* ex);
+    void resume_pending(const std::vector<pending_trip>& pending);
 
     std::shared_ptr<const mobility_model> model_;
     double speed_;
     rng::rng gen_;
-    std::vector<trip_state> agents_;
-    std::vector<geom::vec2> positions_;
+    walker_soa soa_;
     std::vector<std::uint64_t> turn_counts_;
     std::vector<std::uint64_t> arrival_counts_;
     std::vector<std::vector<pending_trip>> pending_;  ///< per-lane, reused across steps

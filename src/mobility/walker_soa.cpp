@@ -1,0 +1,43 @@
+#include "mobility/walker_soa.h"
+
+#include <cmath>
+
+namespace manhattan::mobility {
+
+void advance_lane(const mobility_model& model, walker_soa& soa, std::size_t begin,
+                  std::size_t end, double distance, std::uint64_t* turn_counts,
+                  std::uint64_t* arrival_counts, std::vector<pending_trip>& pending) {
+    if (!(distance > 0.0)) {
+        return;  // advance_core's while loop would not run: no movement, no events
+    }
+    geom::vec2* const pos = soa.pos();
+    const geom::vec2* const way = soa.way();
+    for (std::size_t i = begin; i < end; ++i) {
+        // Mid-leg fast path == the first advance_core iteration, expression
+        // order preserved: remaining = sqrt((pos-way).x^2 + (pos-way).y^2)
+        // bit-equals sqrt(dx*dx + dy*dy) (negation is exact), and the move
+        // re-uses dx/dy exactly as (waypoint - pos) * t does.
+        const double dx = way[i].x - pos[i].x;
+        const double dy = way[i].y - pos[i].y;
+        const double remaining = std::sqrt(dx * dx + dy * dy);
+        if (remaining > distance) {
+            const double t = distance / remaining;
+            pos[i].x += dx * t;
+            pos[i].y += dy * t;
+            continue;
+        }
+        // Slow path (waypoint / destination reached, or a degenerate leg):
+        // replay the whole advance from the untouched state through the
+        // canonical loop.
+        trip_state s = soa.get(i);
+        const partial_advance p = advance_deterministic(model, s, distance);
+        soa.set(i, s);
+        turn_counts[i] += p.events.turns;
+        arrival_counts[i] += p.events.arrivals;
+        if (p.needs_trip) {
+            pending.push_back({static_cast<std::uint32_t>(i), p});
+        }
+    }
+}
+
+}  // namespace manhattan::mobility

@@ -1,0 +1,92 @@
+/// \file walker_soa.h
+/// Structure-of-arrays kinematic state for the walker hot path, plus the
+/// lane-shaped advance kernel that runs over it.
+///
+/// The per-agent trip_state (56 bytes: pos / waypoint / dest / leg) is split
+/// into four index-aligned field arrays. The per-step advance only touches
+/// pos and waypoint for the ~99% of agents that finish mid-leg, so the SoA
+/// layout cuts the kernel's memory traffic to the two hot spans — and the
+/// position span doubles as the walker's public positions() view, feeding
+/// the spatial-index rebuild with zero copies (the AoS layout re-packed all
+/// positions every step).
+///
+/// Determinism contract: advance_lane executes, for every agent, the exact
+/// IEEE operation sequence of the scalar advance() kinematics in
+/// mobility/model.cpp — the mid-leg fast path is the first advance_core
+/// iteration with its expression order preserved, and every other case
+/// round-trips through advance_deterministic() itself. Together with the
+/// build-wide -ffp-contract=off this keeps vectorized, scalar and
+/// pre-refactor builds bit-identical (tests/soa_differential_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "mobility/model.h"
+#include "mobility/trip.h"
+
+namespace manhattan::mobility {
+
+/// Index-aligned field arrays holding the kinematic state of n agents.
+class walker_soa {
+ public:
+    void resize(std::size_t n) {
+        pos_.resize(n);
+        way_.resize(n);
+        dest_.resize(n);
+        leg_.resize(n, 1);
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return pos_.size(); }
+
+    /// The hot span: current positions, index-aligned with agent ids. Stable
+    /// across steps (only the elements mutate), so callers may hold the span.
+    [[nodiscard]] std::span<const geom::vec2> positions() const noexcept { return pos_; }
+
+    /// Gather one agent's fields into the AoS view (tests, slow paths).
+    [[nodiscard]] trip_state get(std::size_t i) const {
+        return {pos_[i], way_[i], dest_[i], leg_[i]};
+    }
+    /// Scatter an AoS state back into the field arrays.
+    void set(std::size_t i, const trip_state& s) {
+        pos_[i] = s.pos;
+        way_[i] = s.waypoint;
+        dest_[i] = s.dest;
+        leg_[i] = s.leg;
+    }
+
+    // Raw field spans for kernels.
+    [[nodiscard]] geom::vec2* pos() noexcept { return pos_.data(); }
+    [[nodiscard]] const geom::vec2* pos() const noexcept { return pos_.data(); }
+    [[nodiscard]] const geom::vec2* way() const noexcept { return way_.data(); }
+
+ private:
+    std::vector<geom::vec2> pos_;   ///< current position (hot)
+    std::vector<geom::vec2> way_;   ///< current leg endpoint (hot)
+    std::vector<geom::vec2> dest_;  ///< trip destination (slow path only)
+    std::vector<std::uint8_t> leg_; ///< 0 = pre-turn, 1 = final leg (slow path only)
+};
+
+/// An agent whose lane-phase advance stopped at a destination and still owes
+/// a trip draw (plus possibly more travel) — advance_lane's output.
+struct pending_trip {
+    std::uint32_t agent = 0;
+    partial_advance partial;
+};
+
+/// The RNG-free advance of agents [begin, end) by travel distance
+/// \p distance: the branch-reduced lane kernel. Agents finishing mid-leg
+/// (the overwhelming majority each step: leg lengths are O(side) while the
+/// per-step distance is the speed bound R/(3(1+sqrt 5))) take a straight-line
+/// move with no events; everything else — waypoint turns, arrivals,
+/// degenerate legs — falls back to the exact advance_deterministic() loop,
+/// and agents owing a trip draw are appended to \p pending in ascending id
+/// order. Writes only indices [begin, end) of the soa / counter arrays plus
+/// \p pending, so disjoint lanes may run concurrently (docs/ENGINE.md).
+void advance_lane(const mobility_model& model, walker_soa& soa, std::size_t begin,
+                  std::size_t end, double distance, std::uint64_t* turn_counts,
+                  std::uint64_t* arrival_counts, std::vector<pending_trip>& pending);
+
+}  // namespace manhattan::mobility

@@ -7,6 +7,15 @@
 /// buffers and merge them in lane order to reproduce the serial iteration
 /// order exactly. That is the mechanism behind the bit-identical-at-any-
 /// thread-count guarantee (see docs/PERF.md).
+///
+/// Span-based lane kernels (the SoA hot paths: mobility/walker_soa.h,
+/// the packed-bitset scans in core/flooding.cpp) add a sharper ownership
+/// rule: a lane writes only elements indexed by its own [begin, end) range
+/// of the shared arrays, and any word-granular structure whose words span
+/// lane boundaries (util/bitset.h: 64 agents per word) is never written
+/// from inside run() — candidates go to lane-local buffers and the serial
+/// lane-order merge performs the writes. docs/ENGINE.md lists the full
+/// rule set.
 #pragma once
 
 #include <algorithm>
