@@ -33,6 +33,7 @@
 #include "engine/sweep.h"
 #include "engine/thread_pool.h"
 #include "engine/trace_sink.h"
+#include "geom/street_graph.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/telemetry.h"
@@ -286,6 +287,111 @@ inline void apply_source(const util::cli_args& args, core::scenario& sc) {
     }
     if (spec.how == core::source_spec::kind::placement) {
         sc.source = spec.placement;
+    }
+}
+
+/// A parsed `--topology=` value (see parse_topology_flag):
+///   - `grid`: the paper's Manhattan grid (the default everywhere);
+///   - `streets[:BLOCKS][:ratio=R][:blocked=F]`: a street plan with BLOCKS
+///     blocks per axis (default 8), geometric block-size ratio R (default
+///     1 = uniform; street_graph_spec::graded), and fraction F of its
+///     segments blocked (connectivity-preserving, seeded —
+///     geom::with_blocked_fraction).
+struct topology_flag {
+    bool streets = false;      ///< false: the grid (no-op)
+    std::int32_t blocks = 8;
+    double ratio = 1.0;
+    double blocked = 0.0;
+};
+
+/// Parse a `--topology=` value. Throws std::invalid_argument on anything
+/// other than the grammar above.
+inline topology_flag parse_topology_flag(const std::string& text) {
+    if (text == "grid") {
+        return {};
+    }
+    std::vector<std::string> parts;
+    for (std::size_t start = 0; start <= text.size();) {
+        const std::size_t colon = text.find(':', start);
+        const std::size_t end = colon == std::string::npos ? text.size() : colon;
+        parts.push_back(text.substr(start, end - start));
+        start = end + 1;
+        if (colon == std::string::npos) {
+            break;
+        }
+    }
+    if (parts.empty() || parts.front() != "streets") {
+        throw std::invalid_argument("--topology: expected 'grid' or 'streets[:...]', got '" +
+                                    text + "'");
+    }
+    topology_flag flag;
+    flag.streets = true;
+    const auto number = [&text](const std::string& part, const std::string& what) {
+        try {
+            std::size_t used = 0;
+            const double value = std::stod(part, &used);
+            if (used != part.size()) {
+                throw std::invalid_argument(what);
+            }
+            return value;
+        } catch (const std::exception&) {
+            throw std::invalid_argument("--topology: malformed " + what + " in '" + text +
+                                        "'");
+        }
+    };
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string& part = parts[i];
+        if (part.rfind("ratio=", 0) == 0) {
+            flag.ratio = number(part.substr(6), "ratio");
+        } else if (part.rfind("blocked=", 0) == 0) {
+            flag.blocked = number(part.substr(8), "blocked fraction");
+        } else {
+            const double value = number(part, "block count");
+            flag.blocks = static_cast<std::int32_t>(value);
+            if (static_cast<double>(flag.blocks) != value || flag.blocks < 1) {
+                throw std::invalid_argument("--topology: block count must be a positive "
+                                            "integer in '" + text + "'");
+            }
+        }
+    }
+    return flag;
+}
+
+/// Build the concrete topology a parsed `--topology=` value describes over
+/// [0, side]^2 (the blocked-segment draw seeded by \p seed).
+inline geom::topology_spec parse_topology(const std::string& text, double side,
+                                          std::uint64_t seed) {
+    const topology_flag flag = parse_topology_flag(text);
+    if (!flag.streets) {
+        return geom::topology_spec::manhattan();
+    }
+    geom::street_graph_spec plan =
+        geom::street_graph_spec::graded(side, flag.blocks, flag.ratio);
+    if (flag.blocked > 0.0) {
+        plan = geom::with_blocked_fraction(std::move(plan), flag.blocked, seed);
+    }
+    return geom::topology_spec::streets(std::move(plan));
+}
+
+/// Apply the shared `--topology=` flag to a sweep spec by arming the
+/// topology axes (street_blocks + block_ratio + blocked_fraction):
+/// expansion then materialises the plan per grid point over that point's
+/// own square — exactly what standard-case sweeps need, where L = sqrt(n)
+/// varies along the n axis — seeding each point's blocked-segment draw
+/// from its base seed. No-op when the flag is absent or `grid` — every
+/// bench keeps its pure-grid default (and its exact fingerprint).
+inline void apply_topology(const util::cli_args& args, engine::sweep_spec& spec) {
+    if (!args.has("topology")) {
+        return;
+    }
+    const topology_flag flag = parse_topology_flag(args.get_string("topology", ""));
+    if (!flag.streets) {
+        return;
+    }
+    spec.street_blocks = flag.blocks;
+    spec.block_ratio = {flag.ratio};
+    if (flag.blocked > 0.0) {
+        spec.blocked_fraction = {flag.blocked};
     }
 }
 

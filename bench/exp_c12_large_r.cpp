@@ -46,6 +46,7 @@ int run(const util::cli_args& args) {
         }
         spec.speed_factor = {1.0};  // v = paper::speed_bound(R) per point
         bench::apply_source(args, spec.base);  // --source= overrides the default
+        bench::apply_topology(args, spec);  // --topology= street-plan axes
 
         engine::memory_sink memory;
         engine::run_options sweep_opts = opts;

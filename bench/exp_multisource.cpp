@@ -51,6 +51,7 @@ int run(const util::cli_args& args) {
     spec.speed_factor = {1.0};
     spec.num_sources = counts;
     bench::apply_source(args, spec.base);
+    bench::apply_topology(args, spec);  // --topology= street-plan axes
 
     engine::memory_sink memory;
     bench::sink_set sinks(args);

@@ -34,6 +34,7 @@ int run(const util::cli_args& args) {
     spec.c1 = {1.5, 2.0, 2.5, 3.0, 4.0, 6.0};
     spec.speed_factor = {1.0};
     bench::apply_source(args, spec.base);  // --source= overrides center_most
+    bench::apply_topology(args, spec);  // --topology= street-plan axes
 
     engine::memory_sink memory;
     bench::sink_set sinks(args);

@@ -41,6 +41,7 @@ int run(const util::cli_args& args) {
     spec.c1 = {c1};
     spec.speed = {v_max, 0.2, 0.1, 0.05, 0.02};
     bench::apply_source(args, spec.base);  // --source= overrides center_most
+    bench::apply_topology(args, spec);  // --topology= street-plan axes
 
     engine::memory_sink memory;
     bench::sink_set sinks(args);

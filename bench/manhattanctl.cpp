@@ -60,6 +60,7 @@ engine::sweep_spec build_spec(const util::cli_args& args) {
     spec.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
     spec.base.max_steps = bench::count_arg(args, "max-steps", 50'000);
     bench::apply_source(args, spec.base);
+    bench::apply_topology(args, spec);  // --topology= street-plan axes
     spec.repetitions = bench::replicas(args, 3);
     spec.c1 = parse_double_list("c1", args.get_string("c1", "2.5,3.0"));
     return spec;

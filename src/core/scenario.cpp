@@ -44,9 +44,10 @@ spread_spec scenario::effective_spread() const {
 
 scenario_outcome run_scenario(const scenario& sc) {
     sc.params.validate();
+    sc.topology.validate(sc.params.side);
     const util::timer clock;
 
-    const auto model = mobility::make_model(sc.model, sc.params.side, sc.model_opts);
+    const auto model = mobility::make_model(sc.model, sc.topology, sc.params.side, sc.model_opts);
     rng::rng gen(sc.seed);
     mobility::walker agents(model, sc.params.n, sc.params.speed, gen,
                             sc.stationary_start ? mobility::start_mode::stationary

@@ -22,6 +22,12 @@ namespace manhattan::core {
 /// effective_spread() and docs/WORKLOADS.md).
 struct scenario {
     net_params params;                  ///< n, L, R, v
+    /// The street plan agents move on. Defaults to the paper's Manhattan
+    /// grid, which is the bit-identical legacy path: every field below means
+    /// exactly what it did before topologies existed, and a pure-grid
+    /// scenario fingerprints/serializes unchanged. street_graph topologies
+    /// route trips over the explicit plan (docs/TOPOLOGY.md).
+    geom::topology_spec topology;
     mobility::model_kind model = mobility::model_kind::mrwp;
     mobility::model_options model_opts; ///< baselines' tunables
     propagation mode = propagation::one_hop;

@@ -378,7 +378,37 @@ std::string serialize_fabric_spec(const fabric_spec& spec) {
                f(sc.gossip_p) + ' ' + e(sc.source) + ' ' + std::to_string(sc.seed) + ' ' +
                (sc.stationary_start ? '1' : '0') + ' ' + f(sc.warmup_time) + ' ' +
                std::to_string(sc.max_steps) + ' ' + (sc.record_timeline ? '1' : '0') +
-               ' ' + (sc.with_cell_partition ? '1' : '0') + " stop " +
+               ' ' + (sc.with_cell_partition ? '1' : '0');
+        // Optional blocks, emitted only when they carry data: pure-grid
+        // non-trace points serialize byte-for-byte as before (and older specs
+        // parse unchanged — the parser treats both blocks as optional).
+        if (!sc.topology.is_grid()) {
+            const auto edges = [&](const std::vector<geom::edge_ref>& list) {
+                std::string s = ' ' + std::to_string(list.size());
+                for (const geom::edge_ref& edge : list) {
+                    s += ' ' + std::to_string(edge.ax) + ' ' + std::to_string(edge.ay) +
+                         ' ' + std::to_string(edge.bx) + ' ' + std::to_string(edge.by);
+                }
+                return s;
+            };
+            out += " topo " + std::to_string(sc.topology.street.xs.size());
+            for (const double x : sc.topology.street.xs) {
+                out += ' ' + f(x);
+            }
+            out += ' ' + std::to_string(sc.topology.street.ys.size());
+            for (const double y : sc.topology.street.ys) {
+                out += ' ' + f(y);
+            }
+            out += edges(sc.topology.street.blocked) + edges(sc.topology.street.one_way);
+        }
+        if (sc.model == mobility::model_kind::trace_replay &&
+            sc.model_opts.trace != nullptr) {
+            out += " trace " + std::to_string(sc.model_opts.trace->size());
+            for (const geom::vec2& p : *sc.model_opts.trace) {
+                out += ' ' + f(p.x) + ' ' + f(p.y);
+            }
+        }
+        out += " stop " +
                e(sc.spread.stop.how) + ' ' + f(sc.spread.stop.fraction) + ' ' +
                std::to_string(sc.spread.stop.steps) + " messages " +
                std::to_string(sc.spread.messages.size());
@@ -468,7 +498,7 @@ fabric_spec parse_fabric_spec(const std::string& text) {
         sc.params.radius = parse_f64_bits(next_token(fields, "radius"), "radius");
         sc.params.speed = parse_f64_bits(next_token(fields, "speed"), "speed");
         sc.model = parse_enum<mobility::model_kind>(next_token(fields, "model"),
-                                                    "model", 5);
+                                                    "model", 6);
         sc.model_opts.walk_step_radius =
             parse_f64_bits(next_token(fields, "walk_step_radius"), "walk_step_radius");
         sc.model_opts.direction_max_leg = parse_f64_bits(
@@ -486,7 +516,46 @@ fabric_spec parse_fabric_spec(const std::string& text) {
             parse_u64(next_token(fields, "record_timeline"), "record_timeline") != 0;
         sc.with_cell_partition = parse_u64(next_token(fields, "with_cell_partition"),
                                            "with_cell_partition") != 0;
-        if (next_token(fields, "stop tag") != "stop") {
+        std::string tag = next_token(fields, "stop tag");
+        if (tag == "topo") {
+            // Optional street-topology block (absent for pure-grid points).
+            sc.topology.kind = geom::topology_kind::street_graph;
+            const auto axis = [&](const char* what) {
+                std::vector<double> values(parse_u64(next_token(fields, what), what));
+                for (double& v : values) {
+                    v = parse_f64_bits(next_token(fields, what), what);
+                }
+                return values;
+            };
+            const auto edges = [&](const char* what) {
+                std::vector<geom::edge_ref> list(parse_u64(next_token(fields, what), what));
+                for (geom::edge_ref& edge : list) {
+                    edge.ax = static_cast<std::int32_t>(parse_u64(next_token(fields, what), what));
+                    edge.ay = static_cast<std::int32_t>(parse_u64(next_token(fields, what), what));
+                    edge.bx = static_cast<std::int32_t>(parse_u64(next_token(fields, what), what));
+                    edge.by = static_cast<std::int32_t>(parse_u64(next_token(fields, what), what));
+                }
+                return list;
+            };
+            sc.topology.street.xs = axis("topo xs");
+            sc.topology.street.ys = axis("topo ys");
+            sc.topology.street.blocked = edges("topo blocked");
+            sc.topology.street.one_way = edges("topo one_way");
+            tag = next_token(fields, "stop tag");
+        }
+        if (tag == "trace") {
+            // Optional replay tour (trace_replay points only).
+            std::vector<geom::vec2> tour(
+                parse_u64(next_token(fields, "trace count"), "trace count"));
+            for (geom::vec2& p : tour) {
+                p.x = parse_f64_bits(next_token(fields, "trace x"), "trace x");
+                p.y = parse_f64_bits(next_token(fields, "trace y"), "trace y");
+            }
+            sc.model_opts.trace =
+                std::make_shared<const std::vector<geom::vec2>>(std::move(tour));
+            tag = next_token(fields, "stop tag");
+        }
+        if (tag != "stop") {
             corrupt("expected 'stop' on point line '" + line + "'");
         }
         sc.spread.stop.how = parse_enum<core::stop_rule::kind>(

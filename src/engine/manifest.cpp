@@ -38,6 +38,42 @@ class fingerprint_hasher {
     std::uint64_t state_ = 0x6d616e6966657374ULL;  // "manifest"
 };
 
+/// Topology contribution to the fingerprint. A pure manhattan_grid spec
+/// feeds *nothing* — its fingerprint is bit-for-bit what it was before
+/// topologies existed, so pre-existing manifests, result caches and
+/// BENCH_flood.json baselines stay valid (docs/TOPOLOGY.md pins the rule;
+/// topology_spec::validate keeps it sound by rejecting street data attached
+/// to a grid spec).
+void hash_topology(fingerprint_hasher& h, const geom::topology_spec& topology) {
+    if (topology.is_grid()) {
+        return;
+    }
+    h.u64(static_cast<std::uint64_t>(topology.kind));
+    const geom::street_graph_spec& st = topology.street;
+    h.u64(st.xs.size());
+    for (const double x : st.xs) {
+        h.f64(x);
+    }
+    h.u64(st.ys.size());
+    for (const double y : st.ys) {
+        h.f64(y);
+    }
+    h.u64(st.blocked.size());
+    for (const geom::edge_ref& e : st.blocked) {
+        h.u64(static_cast<std::uint64_t>(e.ax));
+        h.u64(static_cast<std::uint64_t>(e.ay));
+        h.u64(static_cast<std::uint64_t>(e.bx));
+        h.u64(static_cast<std::uint64_t>(e.by));
+    }
+    h.u64(st.one_way.size());
+    for (const geom::edge_ref& e : st.one_way) {
+        h.u64(static_cast<std::uint64_t>(e.ax));
+        h.u64(static_cast<std::uint64_t>(e.ay));
+        h.u64(static_cast<std::uint64_t>(e.bx));
+        h.u64(static_cast<std::uint64_t>(e.by));
+    }
+}
+
 void hash_source_spec(fingerprint_hasher& h, const core::source_spec& spec) {
     h.u64(static_cast<std::uint64_t>(spec.how));
     h.u64(static_cast<std::uint64_t>(spec.placement));
@@ -56,9 +92,19 @@ void hash_scenario(fingerprint_hasher& h, const core::scenario& sc) {
     h.f64(sc.params.side);
     h.f64(sc.params.radius);
     h.f64(sc.params.speed);
+    hash_topology(h, sc.topology);
     h.u64(static_cast<std::uint64_t>(sc.model));
     h.f64(sc.model_opts.walk_step_radius);
     h.f64(sc.model_opts.direction_max_leg);
+    // The replay tour affects output only under the (new) trace_replay kind,
+    // so gating it keeps every pre-existing fingerprint byte-stable.
+    if (sc.model == mobility::model_kind::trace_replay && sc.model_opts.trace != nullptr) {
+        h.u64(sc.model_opts.trace->size());
+        for (const geom::vec2& p : *sc.model_opts.trace) {
+            h.f64(p.x);
+            h.f64(p.y);
+        }
+    }
     h.u64(static_cast<std::uint64_t>(sc.mode));
     h.f64(sc.gossip_p);
     h.u64(static_cast<std::uint64_t>(sc.source));
@@ -214,8 +260,81 @@ bool diff_source_spec(diff_finder& d, const core::source_spec& a,
     return false;
 }
 
+bool diff_edges(diff_finder& d, const char* name, const std::vector<geom::edge_ref>& a,
+                const std::vector<geom::edge_ref>& b) {
+    if (d.u64((std::string{name} + ".size").c_str(), a.size(), b.size())) {
+        return true;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (d.u64(name, static_cast<std::uint64_t>(a[i].ax),
+                  static_cast<std::uint64_t>(b[i].ax)) ||
+            d.u64(name, static_cast<std::uint64_t>(a[i].ay),
+                  static_cast<std::uint64_t>(b[i].ay)) ||
+            d.u64(name, static_cast<std::uint64_t>(a[i].bx),
+                  static_cast<std::uint64_t>(b[i].bx)) ||
+            d.u64(name, static_cast<std::uint64_t>(a[i].by),
+                  static_cast<std::uint64_t>(b[i].by))) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Mirrors hash_topology: grid-vs-grid contributes nothing, everything else
+/// compares the full street plan.
+bool diff_topology(diff_finder& d, const geom::topology_spec& a,
+                   const geom::topology_spec& b) {
+    if (d.u64("topology.kind", static_cast<std::uint64_t>(a.kind),
+              static_cast<std::uint64_t>(b.kind))) {
+        return true;
+    }
+    if (a.is_grid()) {
+        return false;
+    }
+    if (d.u64("topology.xs.size", a.street.xs.size(), b.street.xs.size()) ||
+        d.u64("topology.ys.size", a.street.ys.size(), b.street.ys.size())) {
+        return true;
+    }
+    for (std::size_t i = 0; i < a.street.xs.size(); ++i) {
+        if (d.f64("topology.xs", a.street.xs[i], b.street.xs[i])) {
+            return true;
+        }
+    }
+    for (std::size_t i = 0; i < a.street.ys.size(); ++i) {
+        if (d.f64("topology.ys", a.street.ys[i], b.street.ys[i])) {
+            return true;
+        }
+    }
+    return diff_edges(d, "topology.blocked", a.street.blocked, b.street.blocked) ||
+           diff_edges(d, "topology.one_way", a.street.one_way, b.street.one_way);
+}
+
+bool diff_trace(diff_finder& d, const core::scenario& a, const core::scenario& b) {
+    if (a.model != mobility::model_kind::trace_replay) {
+        return false;
+    }
+    const auto* ta = a.model_opts.trace.get();
+    const auto* tb = b.model_opts.trace.get();
+    if (d.u64("trace.size", ta != nullptr ? ta->size() : 0, tb != nullptr ? tb->size() : 0)) {
+        return true;
+    }
+    if (ta == nullptr || tb == nullptr) {
+        return false;
+    }
+    for (std::size_t i = 0; i < ta->size(); ++i) {
+        if (d.f64("trace.x", (*ta)[i].x, (*tb)[i].x) ||
+            d.f64("trace.y", (*ta)[i].y, (*tb)[i].y)) {
+            return true;
+        }
+    }
+    return false;
+}
+
 /// Mirrors hash_scenario field for field — keep the two walks in sync.
 bool diff_scenario(diff_finder& d, const core::scenario& a, const core::scenario& b) {
+    if (diff_topology(d, a.topology, b.topology)) {
+        return true;
+    }
     if (d.u64("n", a.params.n, b.params.n) ||
         d.f64("side", a.params.side, b.params.side) ||
         d.f64("radius", a.params.radius, b.params.radius) ||
@@ -242,6 +361,9 @@ bool diff_scenario(diff_finder& d, const core::scenario& a, const core::scenario
         d.f64("stop.fraction", a.spread.stop.fraction, b.spread.stop.fraction) ||
         d.u64("stop.steps", a.spread.stop.steps, b.spread.stop.steps) ||
         d.u64("messages.size", a.spread.messages.size(), b.spread.messages.size())) {
+        return true;
+    }
+    if (diff_trace(d, a, b)) {
         return true;
     }
     for (std::size_t i = 0; i < a.spread.messages.size(); ++i) {

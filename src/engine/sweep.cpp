@@ -9,6 +9,7 @@
 
 #include "engine/manifest.h"
 #include "engine/progress.h"
+#include "geom/street_graph.h"
 #include "engine/sink.h"
 #include "engine/thread_pool.h"
 #include "engine/trace_sink.h"
@@ -51,6 +52,17 @@ std::string point_label(const core::scenario& sc) {
                         " v=" + util::fmt(sc.params.speed);
     if (sc.model != mobility::model_kind::mrwp) {
         label += " model=" + mobility::model_kind_name(sc.model);
+    }
+    if (!sc.topology.is_grid()) {
+        // Street-topology annotations: segment counts are pure functions of
+        // the spec, so labels stay stable across hosts and thread counts.
+        label += " topo=streets";
+        if (!sc.topology.street.blocked.empty()) {
+            label += " blocked=" + util::fmt(sc.topology.street.blocked.size());
+        }
+        if (!sc.topology.street.one_way.empty()) {
+            label += " oneway=" + util::fmt(sc.topology.street.one_way.size());
+        }
     }
     if (sc.mode == core::propagation::per_component) {
         label += " mode=per_component";
@@ -112,6 +124,21 @@ std::vector<sweep_point> sweep_spec::expand() const {
     sweep_axis(grid, speed_factor, [](core::scenario& sc, double value) {
         sc.params.speed = value * core::paper::speed_bound(sc.params.radius);
     });
+    // Topology axes run after the n axis so the street plans they build span
+    // the point's final side. block_ratio defines the plan; blocked_fraction
+    // then removes segments from it (or from the uniform default plan).
+    const std::int32_t blocks = street_blocks;
+    sweep_axis(grid, block_ratio, [blocks](core::scenario& sc, double value) {
+        sc.topology = geom::topology_spec::streets(
+            geom::street_graph_spec::graded(sc.params.side, blocks, value));
+    });
+    sweep_axis(grid, blocked_fraction, [blocks](core::scenario& sc, double value) {
+        geom::street_graph_spec plan =
+            sc.topology.is_grid() ? geom::street_graph_spec::uniform(sc.params.side, blocks)
+                                  : sc.topology.street;
+        sc.topology = geom::topology_spec::streets(
+            geom::with_blocked_fraction(std::move(plan), value, sc.seed));
+    });
     sweep_axis(grid, model,
                [](core::scenario& sc, mobility::model_kind value) { sc.model = value; });
     // mode / gossip_p write through into an already-materialised spread
@@ -154,6 +181,8 @@ std::vector<sweep_point> sweep_spec::expand() const {
     points.reserve(grid.size());
     for (std::size_t i = 0; i < grid.size(); ++i) {
         grid[i].params.validate();
+        grid[i].topology.validate(grid[i].params.side);
+        mobility::check_model_topology(grid[i].model, grid[i].topology, grid[i].model_opts);
         grid[i].spread.stop.validate();
         for (const auto& msg : grid[i].spread.messages) {
             msg.sources.validate(grid[i].params.n);  // fail at expand, not mid-sweep

@@ -47,6 +47,14 @@ struct sweep_point {
 ///     for explicit id lists)
 ///   - num_messages: materialises the spread workload and resizes the
 ///     message list, cycling through the existing messages when growing
+///   - block_ratio: topology axis — replaces the topology with a graded
+///     street plan (street_graph_spec::graded over the point's side with
+///     `street_blocks` blocks per axis and the given common ratio)
+///   - blocked_fraction: topology axis — blocks that fraction of the plan's
+///     segments (connectivity-preserving, seeded by the point's base seed;
+///     geom::with_blocked_fraction). Starts from the point's current street
+///     plan, or from the uniform `street_blocks` plan when the point is
+///     still on the grid topology
 struct sweep_spec {
     core::scenario base;          ///< prototype: seed, source, max_steps, ...
     std::size_t repetitions = 3;  ///< replicas per grid point
@@ -62,11 +70,19 @@ struct sweep_spec {
     std::vector<double> gossip_p;
     std::vector<std::size_t> num_sources;
     std::vector<std::size_t> num_messages;
+    std::vector<double> block_ratio;        ///< street-plan block-size ratios
+    std::vector<double> blocked_fraction;   ///< fractions of segments to block
+
+    /// Blocks per axis the topology axes materialise their street plans
+    /// with; ignored unless block_ratio / blocked_fraction is swept.
+    std::int32_t street_blocks = 8;
 
     /// Expand into the fully-resolved point list. Throws std::invalid_argument
     /// on conflicting axes (c1 & radius, speed & speed_factor), zero
     /// num_sources / num_messages values, a num_sources axis over explicit
-    /// source id lists, or grid points whose parameters fail validation.
+    /// source id lists, topology-axis values the street-plan builders
+    /// reject, model kinds the point's topology cannot run, or grid points
+    /// whose parameters fail validation.
     [[nodiscard]] std::vector<sweep_point> expand() const;
 };
 

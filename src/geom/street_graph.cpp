@@ -1,0 +1,418 @@
+#include "geom/street_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <list>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "rng/rng.h"
+#include "rng/splitmix64.h"
+
+namespace manhattan::geom {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+    throw std::invalid_argument("street_graph: " + what);
+}
+
+void check_axis(const std::vector<double>& coords, const char* axis) {
+    if (coords.size() < 2) {
+        bad(std::string{axis} + " needs at least two streets");
+    }
+    for (const double c : coords) {
+        if (!std::isfinite(c)) {
+            bad(std::string{axis} + " coordinates must be finite");
+        }
+    }
+    for (std::size_t i = 1; i < coords.size(); ++i) {
+        if (!(coords[i - 1] < coords[i])) {
+            bad(std::string{axis} + " coordinates must be strictly ascending");
+        }
+    }
+}
+
+/// The structural intermediate: intersections plus directed adjacency with
+/// blocked/one-way removals applied. Everything validate() needs, without
+/// the O(V^2) routing table.
+struct lattice {
+    std::size_t nx = 0;
+    std::size_t ny = 0;
+    std::vector<vec2> pos;
+    std::vector<std::vector<std::uint32_t>> adj;  ///< ascending per node
+};
+
+std::uint32_t node_id(const lattice& l, std::int32_t col, std::int32_t row) {
+    return static_cast<std::uint32_t>(static_cast<std::size_t>(row) * l.nx +
+                                      static_cast<std::size_t>(col));
+}
+
+void check_edge_ref(const lattice& l, const edge_ref& e, const char* what) {
+    const auto in_range = [&](std::int32_t col, std::int32_t row) {
+        return col >= 0 && row >= 0 && static_cast<std::size_t>(col) < l.nx &&
+               static_cast<std::size_t>(row) < l.ny;
+    };
+    if (!in_range(e.ax, e.ay) || !in_range(e.bx, e.by)) {
+        bad(std::string{what} + " edge references an intersection outside the plan");
+    }
+    const std::int32_t d = std::abs(e.ax - e.bx) + std::abs(e.ay - e.by);
+    if (d != 1) {
+        bad(std::string{what} + " edge endpoints must be lattice-adjacent");
+    }
+}
+
+void remove_directed(lattice& l, std::uint32_t from, std::uint32_t to) {
+    auto& row = l.adj[from];
+    row.erase(std::remove(row.begin(), row.end(), to), row.end());
+}
+
+lattice build_lattice(const street_graph_spec& spec) {
+    check_axis(spec.xs, "xs");
+    check_axis(spec.ys, "ys");
+    lattice l;
+    l.nx = spec.xs.size();
+    l.ny = spec.ys.size();
+    const std::size_t count = l.nx * l.ny;
+    if (count > street_graph::max_intersections) {
+        bad("plan has " + std::to_string(count) + " intersections; the routing table is "
+            "O(V^2) and caps at " + std::to_string(street_graph::max_intersections));
+    }
+    l.pos.reserve(count);
+    for (std::size_t row = 0; row < l.ny; ++row) {
+        for (std::size_t col = 0; col < l.nx; ++col) {
+            l.pos.push_back({spec.xs[col], spec.ys[row]});
+        }
+    }
+    l.adj.resize(count);
+    for (std::size_t row = 0; row < l.ny; ++row) {
+        for (std::size_t col = 0; col < l.nx; ++col) {
+            const std::uint32_t u =
+                node_id(l, static_cast<std::int32_t>(col), static_cast<std::int32_t>(row));
+            if (col + 1 < l.nx) {
+                l.adj[u].push_back(u + 1);
+                l.adj[u + 1].push_back(u);
+            }
+            if (row + 1 < l.ny) {
+                const std::uint32_t v = u + static_cast<std::uint32_t>(l.nx);
+                l.adj[u].push_back(v);
+                l.adj[v].push_back(u);
+            }
+        }
+    }
+    for (const edge_ref& e : spec.one_way) {
+        check_edge_ref(l, e, "one_way");
+        // Keep a -> b, drop the return direction.
+        remove_directed(l, node_id(l, e.bx, e.by), node_id(l, e.ax, e.ay));
+    }
+    for (const edge_ref& e : spec.blocked) {
+        check_edge_ref(l, e, "blocked");
+        remove_directed(l, node_id(l, e.ax, e.ay), node_id(l, e.bx, e.by));
+        remove_directed(l, node_id(l, e.bx, e.by), node_id(l, e.ax, e.ay));
+    }
+    for (auto& row : l.adj) {
+        std::sort(row.begin(), row.end());
+        row.erase(std::unique(row.begin(), row.end()), row.end());
+    }
+    return l;
+}
+
+/// Every intersection must reach every other over the surviving directed
+/// segments — the reachability contract the waypoint draw relies on.
+bool strongly_connected(const lattice& l) {
+    const std::size_t count = l.pos.size();
+    std::vector<std::vector<std::uint32_t>> reverse(count);
+    for (std::uint32_t u = 0; u < count; ++u) {
+        for (const std::uint32_t v : l.adj[u]) {
+            reverse[v].push_back(u);
+        }
+    }
+    const auto covers_all = [count](const std::vector<std::vector<std::uint32_t>>& adj) {
+        std::vector<std::uint8_t> seen(count, 0);
+        std::vector<std::uint32_t> stack{0};
+        seen[0] = 1;
+        std::size_t visited = 1;
+        while (!stack.empty()) {
+            const std::uint32_t u = stack.back();
+            stack.pop_back();
+            for (const std::uint32_t v : adj[u]) {
+                if (seen[v] == 0) {
+                    seen[v] = 1;
+                    ++visited;
+                    stack.push_back(v);
+                }
+            }
+        }
+        return visited == count;
+    };
+    return covers_all(l.adj) && covers_all(reverse);
+}
+
+lattice build_connected_lattice(const street_graph_spec& spec) {
+    lattice l = build_lattice(spec);
+    if (!strongly_connected(l)) {
+        bad("plan is not strongly connected: some intersection cannot reach (or be "
+            "reached from) every other over the unblocked segments");
+    }
+    return l;
+}
+
+std::vector<double> graded_axis(double side, std::int32_t blocks, double ratio) {
+    // Block i has width proportional to ratio^i; normalise to span [0, side].
+    std::vector<double> widths(static_cast<std::size_t>(blocks));
+    double w = 1.0;
+    double total = 0.0;
+    for (auto& width : widths) {
+        width = w;
+        total += w;
+        w *= ratio;
+    }
+    std::vector<double> coords;
+    coords.reserve(widths.size() + 1);
+    coords.push_back(0.0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        acc += widths[i];
+        // The last street lands on side exactly regardless of rounding.
+        coords.push_back(i + 1 == widths.size() ? side : side * (acc / total));
+    }
+    return coords;
+}
+
+}  // namespace
+
+street_graph_spec street_graph_spec::uniform(double side, std::int32_t blocks) {
+    return graded(side, blocks, 1.0);
+}
+
+street_graph_spec street_graph_spec::graded(double side, std::int32_t blocks,
+                                            double ratio) {
+    if (!(side > 0.0)) {
+        bad("side must be positive");
+    }
+    if (blocks < 1) {
+        bad("need at least one block per axis");
+    }
+    if (!(ratio > 0.0) || !std::isfinite(ratio)) {
+        bad("block-size ratio must be positive and finite");
+    }
+    street_graph_spec spec;
+    spec.xs = graded_axis(side, blocks, ratio);
+    spec.ys = spec.xs;
+    return spec;
+}
+
+void topology_spec::validate(double side) const {
+    if (kind == topology_kind::manhattan_grid) {
+        if (!(street == street_graph_spec{})) {
+            bad("manhattan_grid topology must not carry street-graph data (use "
+                "topology_spec::streets, or clear the street field)");
+        }
+        return;
+    }
+    const lattice l = build_connected_lattice(street);
+    if (!(street.xs.front() >= 0.0) || !(street.xs.back() <= side) ||
+        !(street.ys.front() >= 0.0) || !(street.ys.back() <= side)) {
+        bad("plan must fit inside the scenario square [0, " + std::to_string(side) +
+            "]^2");
+    }
+}
+
+street_graph::street_graph(const street_graph_spec& spec) : spec_(spec) {
+    const lattice l = build_connected_lattice(spec);
+    nx_ = l.nx;
+    pos_ = l.pos;
+    const std::size_t count = pos_.size();
+    head_.assign(count + 1, 0);
+    for (std::size_t u = 0; u < count; ++u) {
+        head_[u + 1] = head_[u] + static_cast<std::uint32_t>(l.adj[u].size());
+    }
+    to_.reserve(head_[count]);
+    for (std::size_t u = 0; u < count; ++u) {
+        to_.insert(to_.end(), l.adj[u].begin(), l.adj[u].end());
+    }
+
+    // All-pairs first hop: one deterministic Dijkstra per source. Ties pop
+    // lowest node id first and relaxations are strict, so the table is a
+    // pure function of the spec on every host.
+    next_.assign(count * count, 0);
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(count);
+    std::vector<std::uint16_t> first(count);
+    using entry = std::pair<double, std::uint32_t>;
+    for (std::uint32_t s = 0; s < count; ++s) {
+        std::fill(dist.begin(), dist.end(), inf);
+        for (std::uint32_t v = 0; v < count; ++v) {
+            first[v] = static_cast<std::uint16_t>(s);
+        }
+        dist[s] = 0.0;
+        std::priority_queue<entry, std::vector<entry>, std::greater<>> queue;
+        queue.push({0.0, s});
+        while (!queue.empty()) {
+            const auto [d, u] = queue.top();
+            queue.pop();
+            if (d > dist[u]) {
+                continue;  // stale entry
+            }
+            for (const std::uint32_t v : neighbors(u)) {
+                const double nd = d + geom::dist(pos_[u], pos_[v]);
+                if (nd < dist[v]) {
+                    dist[v] = nd;
+                    first[v] = u == s ? static_cast<std::uint16_t>(v) : first[u];
+                    queue.push({nd, v});
+                }
+            }
+        }
+        std::copy(first.begin(), first.end(),
+                  next_.begin() + static_cast<std::size_t>(s) * count);
+        for (const double d : dist) {
+            diameter_ = std::max(diameter_, d);
+        }
+    }
+}
+
+std::optional<std::uint32_t> street_graph::node_at(vec2 p) const noexcept {
+    const auto index_of = [](const std::vector<double>& coords, double c)
+        -> std::optional<std::size_t> {
+        const auto it = std::lower_bound(coords.begin(), coords.end(), c);
+        if (it == coords.end() || *it != c) {
+            return std::nullopt;
+        }
+        return static_cast<std::size_t>(it - coords.begin());
+    };
+    const auto col = index_of(spec_.xs, p.x);
+    const auto row = index_of(spec_.ys, p.y);
+    if (!col || !row) {
+        return std::nullopt;
+    }
+    return static_cast<std::uint32_t>(*row * nx_ + *col);
+}
+
+std::uint32_t street_graph::nearest_node(vec2 p) const noexcept {
+    std::uint32_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::uint32_t v = 0; v < pos_.size(); ++v) {
+        const double dx = pos_[v].x - p.x;
+        const double dy = pos_[v].y - p.y;
+        const double d2 = dx * dx + dy * dy;
+        if (d2 < best_d2) {  // strict: ties keep the lowest id
+            best_d2 = d2;
+            best = v;
+        }
+    }
+    return best;
+}
+
+bool street_graph::has_segment(std::uint32_t from, std::uint32_t to) const noexcept {
+    const auto row = neighbors(from);
+    return std::binary_search(row.begin(), row.end(), to);
+}
+
+double street_graph::route_length(std::uint32_t from, std::uint32_t to) const {
+    double total = 0.0;
+    std::uint32_t cur = from;
+    std::size_t hops = 0;
+    while (cur != to) {
+        const std::uint32_t nxt = next_hop(cur, to);
+        total += geom::dist(pos_[cur], pos_[nxt]);
+        cur = nxt;
+        if (++hops > pos_.size()) {
+            throw std::logic_error("street_graph: next-hop walk did not terminate");
+        }
+    }
+    return total;
+}
+
+std::shared_ptr<const street_graph> street_graph::compile(const street_graph_spec& spec) {
+    static std::mutex mutex;
+    static std::list<std::pair<street_graph_spec, std::shared_ptr<const street_graph>>>
+        cache;
+    constexpr std::size_t capacity = 8;
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (auto it = cache.begin(); it != cache.end(); ++it) {
+        if (it->first == spec) {
+            cache.splice(cache.begin(), cache, it);  // refresh LRU order
+            return cache.front().second;
+        }
+    }
+    auto built = std::make_shared<const street_graph>(spec);
+    cache.emplace_front(spec, built);
+    if (cache.size() > capacity) {
+        cache.pop_back();
+    }
+    return built;
+}
+
+street_graph_spec with_blocked_fraction(street_graph_spec spec, double fraction,
+                                        std::uint64_t seed) {
+    if (!(fraction >= 0.0) || !(fraction < 1.0)) {
+        bad("blocked fraction must be in [0, 1)");
+    }
+    lattice l = build_connected_lattice(spec);  // also validates the base spec
+    if (fraction == 0.0) {
+        return spec;
+    }
+
+    // Candidate undirected lattice segments not already blocked, in a
+    // canonical order (all horizontal row-major, then all vertical).
+    const auto already_blocked = [&](const edge_ref& e) {
+        const edge_ref reverse{e.bx, e.by, e.ax, e.ay};
+        return std::find(spec.blocked.begin(), spec.blocked.end(), e) !=
+                   spec.blocked.end() ||
+               std::find(spec.blocked.begin(), spec.blocked.end(), reverse) !=
+                   spec.blocked.end();
+    };
+    std::vector<edge_ref> candidates;
+    for (std::int32_t row = 0; row < static_cast<std::int32_t>(l.ny); ++row) {
+        for (std::int32_t col = 0; col + 1 < static_cast<std::int32_t>(l.nx); ++col) {
+            const edge_ref e{col, row, col + 1, row};
+            if (!already_blocked(e)) {
+                candidates.push_back(e);
+            }
+        }
+    }
+    for (std::int32_t row = 0; row + 1 < static_cast<std::int32_t>(l.ny); ++row) {
+        for (std::int32_t col = 0; col < static_cast<std::int32_t>(l.nx); ++col) {
+            const edge_ref e{col, row, col, row + 1};
+            if (!already_blocked(e)) {
+                candidates.push_back(e);
+            }
+        }
+    }
+    const std::size_t target = static_cast<std::size_t>(
+        std::llround(fraction * static_cast<double>(candidates.size())));
+
+    // Seeded Fisher-Yates, then greedily block candidates whose removal
+    // keeps the plan strongly connected.
+    rng::rng gen{rng::splitmix64{seed}()};
+    for (std::size_t i = candidates.size(); i > 1; --i) {
+        const std::size_t j = static_cast<std::size_t>(gen.uniform_index(i));
+        std::swap(candidates[i - 1], candidates[j]);
+    }
+    std::size_t blocked = 0;
+    for (const edge_ref& e : candidates) {
+        if (blocked == target) {
+            break;
+        }
+        const std::uint32_t a = node_id(l, e.ax, e.ay);
+        const std::uint32_t b = node_id(l, e.bx, e.by);
+        const std::vector<std::uint32_t> saved_a = l.adj[a];
+        const std::vector<std::uint32_t> saved_b = l.adj[b];
+        remove_directed(l, a, b);
+        remove_directed(l, b, a);
+        if (strongly_connected(l)) {
+            spec.blocked.push_back(e);
+            ++blocked;
+        } else {
+            l.adj[a] = saved_a;
+            l.adj[b] = saved_b;
+        }
+    }
+    return spec;
+}
+
+}  // namespace manhattan::geom

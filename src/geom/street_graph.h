@@ -1,0 +1,182 @@
+/// \file street_graph.h
+/// First-class street topology: the declarative `topology_spec` sum type the
+/// whole engine dispatches on, plus the compiled intersection/segment graph.
+///
+/// The paper's Manhattan Random-Way-Point model is waypoint mobility over one
+/// particular street plan — the uniform grid filling [0,L]^2. `topology_spec`
+/// generalises that surface:
+///   - `manhattan_grid` is exactly the historical workload. It carries no
+///     extra data, every code path treats it as the bit-identical fast path,
+///     and a pure-grid spec fingerprints/serializes exactly as before this
+///     type existed (docs/TOPOLOGY.md pins the contract).
+///   - `street_graph` is an explicit plan: vertical streets x = xs[i] and
+///     horizontal streets y = ys[j] (variable block sizes), whose crossings
+///     are intersections and whose lattice-adjacent links are segments —
+///     minus blocked segments, minus the reverse direction of one-way
+///     segments.
+///
+/// `street_graph` compiles a spec into CSR adjacency with per-segment
+/// lengths plus an all-pairs next-hop table (deterministic Dijkstra, ties by
+/// node id), which is what makes the graph-native MRWP's routing a pure
+/// RNG-free function of (position, destination) — the property the two-phase
+/// parallel advance relies on (mobility/graph_mrwp.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace manhattan::geom {
+
+/// Which mobility surface a scenario runs on.
+enum class topology_kind : std::uint8_t { manhattan_grid, street_graph };
+
+/// Selects the directed segment a -> b between two lattice-adjacent
+/// intersections; (ax, ay) indexes (xs, ys) — column first.
+struct edge_ref {
+    std::int32_t ax = 0;
+    std::int32_t ay = 0;
+    std::int32_t bx = 0;
+    std::int32_t by = 0;
+
+    friend constexpr bool operator==(const edge_ref&, const edge_ref&) noexcept = default;
+};
+
+/// Declarative street plan. Coordinates are absolute (the scenario's square
+/// is [0, side]^2 and validate() requires the plan to fit inside it).
+struct street_graph_spec {
+    std::vector<double> xs;        ///< vertical street abscissae, strictly ascending
+    std::vector<double> ys;        ///< horizontal street ordinates, strictly ascending
+    std::vector<edge_ref> blocked; ///< segments removed in both directions
+    std::vector<edge_ref> one_way; ///< only the listed a -> b direction is kept
+
+    /// The uniform plan: (blocks+1) equally spaced streets per axis spanning
+    /// [0, side]. Throws unless side > 0 and blocks >= 1.
+    [[nodiscard]] static street_graph_spec uniform(double side, std::int32_t blocks);
+
+    /// Variable block sizes: block widths follow a geometric progression
+    /// with common ratio \p ratio (block i+1 is ratio x block i), scaled to
+    /// span [0, side] on both axes. ratio = 1 reduces to uniform(). Throws
+    /// unless side > 0, blocks >= 1 and ratio > 0.
+    [[nodiscard]] static street_graph_spec graded(double side, std::int32_t blocks,
+                                                  double ratio);
+
+    friend bool operator==(const street_graph_spec&, const street_graph_spec&) = default;
+};
+
+/// The topology sum type `core::scenario` carries. Default-constructed it is
+/// the paper's Manhattan grid, so every pre-existing call site keeps its
+/// exact behaviour (and its exact fingerprint) without changes.
+struct topology_spec {
+    topology_kind kind = topology_kind::manhattan_grid;
+    street_graph_spec street;  ///< must be empty unless kind == street_graph
+
+    [[nodiscard]] static topology_spec manhattan() { return {}; }
+    [[nodiscard]] static topology_spec streets(street_graph_spec s) {
+        topology_spec t;
+        t.kind = topology_kind::street_graph;
+        t.street = std::move(s);
+        return t;
+    }
+
+    [[nodiscard]] bool is_grid() const noexcept {
+        return kind == topology_kind::manhattan_grid;
+    }
+
+    /// Structural validation against the scenario square [0, side]^2.
+    /// Throws std::invalid_argument on: street data attached to a
+    /// manhattan_grid spec (the canonical pure-grid form is empty — that is
+    /// what keeps the fingerprint rule sound), fewer than two streets per
+    /// axis, non-ascending or out-of-square coordinates, edge refs that are
+    /// out of range or not lattice-adjacent, or a plan whose unblocked
+    /// segments are not strongly connected.
+    void validate(double side) const;
+
+    friend bool operator==(const topology_spec&, const topology_spec&) = default;
+};
+
+/// The compiled graph: intersections, CSR segment adjacency (directed;
+/// blocked segments absent, one-way segments present in one direction) and
+/// the all-pairs next-hop routing table.
+class street_graph {
+ public:
+    /// Compile \p spec. Throws std::invalid_argument on every structural
+    /// error topology_spec::validate would reject, plus when the plan has
+    /// more than max_intersections crossings (the next-hop table is O(V^2)).
+    explicit street_graph(const street_graph_spec& spec);
+
+    /// O(V^2) routing-table bound; validate() enforces it too.
+    static constexpr std::size_t max_intersections = 4096;
+
+    [[nodiscard]] const street_graph_spec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::size_t node_count() const noexcept { return pos_.size(); }
+    /// Directed segment count (a two-way segment counts twice).
+    [[nodiscard]] std::size_t segment_count() const noexcept { return to_.size(); }
+
+    [[nodiscard]] vec2 node_pos(std::uint32_t node) const { return pos_[node]; }
+
+    /// Node id of the intersection at exactly \p p (bitwise coordinate
+    /// match — the graph-native models only ever place agents on exact node
+    /// coordinates), or nullopt when p is not an intersection.
+    [[nodiscard]] std::optional<std::uint32_t> node_at(vec2 p) const noexcept;
+
+    /// Nearest intersection by Euclidean distance, ties to the lowest id
+    /// (deterministic off-street snap for fresh-start placement).
+    [[nodiscard]] std::uint32_t nearest_node(vec2 p) const noexcept;
+
+    /// Outgoing neighbours of \p node in ascending node-id order.
+    [[nodiscard]] std::span<const std::uint32_t> neighbors(std::uint32_t node) const {
+        return {to_.data() + head_[node], to_.data() + head_[node + 1]};
+    }
+
+    /// True when the directed segment from -> to exists (and is unblocked).
+    [[nodiscard]] bool has_segment(std::uint32_t from, std::uint32_t to) const noexcept;
+
+    /// First hop on the shortest segment path from -> to (== to when
+    /// adjacent, == from when from == to). Shortest by Euclidean length,
+    /// deterministic tie-break by node id.
+    [[nodiscard]] std::uint32_t next_hop(std::uint32_t from, std::uint32_t to) const {
+        return next_[static_cast<std::size_t>(from) * pos_.size() + to];
+    }
+
+    /// Length of the shortest path from -> to (sums the exact per-hop
+    /// segment lengths in route order).
+    [[nodiscard]] double route_length(std::uint32_t from, std::uint32_t to) const;
+
+    /// max over ordered pairs of route_length — the rejection bound of the
+    /// length-biased stationary sampler.
+    [[nodiscard]] double diameter() const noexcept { return diameter_; }
+
+    /// Process-wide memoised compile: scenarios and replicas sharing a spec
+    /// share one compiled graph (the table build is the expensive part).
+    /// Thread-safe; the cache keeps a small LRU of recent specs.
+    [[nodiscard]] static std::shared_ptr<const street_graph> compile(
+        const street_graph_spec& spec);
+
+ private:
+    street_graph_spec spec_;
+    std::vector<vec2> pos_;            ///< node id -> intersection position
+    std::vector<std::uint32_t> head_;  ///< CSR row offsets (node_count + 1)
+    std::vector<std::uint32_t> to_;    ///< CSR targets, ascending per row
+    std::vector<std::uint16_t> next_;  ///< all-pairs first hop (V x V)
+    double diameter_ = 0.0;
+    std::size_t nx_ = 0;
+};
+
+/// Deterministically block ~`fraction` of \p spec's unblocked segments while
+/// preserving strong connectivity: candidates are visited in a seeded
+/// Fisher-Yates order and a candidate whose removal would disconnect the
+/// plan is skipped. A pure function of (spec, fraction, seed) — the sweep
+/// axis that uses it stays reproducible and fingerprintable. Returns the
+/// spec with the chosen segments appended to `blocked`; may block fewer than
+/// asked when connectivity forbids more. Throws std::invalid_argument unless
+/// 0 <= fraction < 1 and the spec is structurally valid.
+[[nodiscard]] street_graph_spec with_blocked_fraction(street_graph_spec spec,
+                                                      double fraction,
+                                                      std::uint64_t seed);
+
+}  // namespace manhattan::geom

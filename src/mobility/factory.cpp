@@ -2,16 +2,41 @@
 
 #include <stdexcept>
 
+#include "mobility/graph_mrwp.h"
 #include "mobility/mrwp.h"
 #include "mobility/random_direction.h"
 #include "mobility/random_walk.h"
 #include "mobility/rwp.h"
 #include "mobility/static_model.h"
+#include "mobility/trace.h"
 
 namespace manhattan::mobility {
 
+void check_model_topology(model_kind kind, const geom::topology_spec& topology,
+                          const model_options& opts) {
+    if (kind == model_kind::trace_replay && opts.trace == nullptr) {
+        throw std::invalid_argument("make_model: trace_replay requires model_options::trace");
+    }
+    if (!topology.is_grid() && kind != model_kind::mrwp) {
+        throw std::invalid_argument(
+            "make_model: the street_graph topology supports only the mrwp model (kind '" +
+            model_kind_name(kind) + "' is grid-only)");
+    }
+}
+
 std::shared_ptr<const mobility_model> make_model(model_kind kind, double side,
                                                  model_options opts) {
+    return make_model(kind, geom::topology_spec::manhattan(), side, std::move(opts));
+}
+
+std::shared_ptr<const mobility_model> make_model(model_kind kind,
+                                                 const geom::topology_spec& topology,
+                                                 double side, model_options opts) {
+    check_model_topology(kind, topology, opts);
+    if (!topology.is_grid()) {
+        topology.validate(side);
+        return std::make_shared<graph_waypoint>(side, geom::street_graph::compile(topology.street));
+    }
     switch (kind) {
         case model_kind::mrwp:
             return std::make_shared<manhattan_random_waypoint>(side);
@@ -27,6 +52,8 @@ std::shared_ptr<const mobility_model> make_model(model_kind kind, double side,
         }
         case model_kind::static_agents:
             return std::make_shared<static_model>(side);
+        case model_kind::trace_replay:
+            return std::make_shared<trace_replay>(side, std::move(opts.trace));
     }
     throw std::invalid_argument("make_model: unknown model kind");
 }
@@ -47,6 +74,9 @@ model_kind parse_model_kind(const std::string& name) {
     if (name == "static") {
         return model_kind::static_agents;
     }
+    if (name == "trace") {
+        return model_kind::trace_replay;
+    }
     throw std::invalid_argument("parse_model_kind: unknown model '" + name + "'");
 }
 
@@ -62,6 +92,8 @@ std::string model_kind_name(model_kind kind) {
             return "random_direction";
         case model_kind::static_agents:
             return "static";
+        case model_kind::trace_replay:
+            return "trace";
     }
     throw std::invalid_argument("model_kind_name: unknown model kind");
 }

@@ -1,0 +1,56 @@
+/// \file graph_mrwp.h
+/// Waypoint mobility over an explicit street graph — the generalisation of
+/// MRWP that `topology_spec{street_graph}` scenarios run.
+///
+/// Every trip: draw a destination intersection uniformly over the other
+/// reachable intersections and travel the shortest segment path at constant
+/// speed. Routing is a pure RNG-free function of (position, destination)
+/// through the graph's precomputed next-hop table, so the multi-hop route
+/// fits the two-leg trip_state: the advance_leg() hook re-derives the next
+/// hop at every intersection, keeping leg = 0 until the hop that ends at the
+/// destination. That keeps the two-phase RNG handoff intact — begin_trip()
+/// is the only RNG consumer, exactly like the grid models — so serial and
+/// parallel replays stay bit-identical (docs/TOPOLOGY.md).
+///
+/// The stationary sampler is *exact* by the same Palm/length-biased
+/// construction as mrwp.h: destinations are uniform over V \ {start}, which
+/// makes the jump chain of trip-start nodes doubly stochastic, hence its
+/// stationary law is uniform over V. A length-biased trip is therefore a
+/// uniform distinct (S, D) pair accepted with probability
+/// route_length(S, D) / diameter, observed at a uniform point along its
+/// route.
+#pragma once
+
+#include <memory>
+
+#include "geom/street_graph.h"
+#include "mobility/model.h"
+
+namespace manhattan::mobility {
+
+/// Graph-native random waypoint ("graph MRWP").
+class graph_waypoint final : public mobility_model {
+ public:
+    /// \p graph must be a compiled street graph whose plan fits inside
+    /// [0, side]^2 with at least two intersections (topology_spec::validate
+    /// enforces both; the ctor re-checks the cheap parts and throws
+    /// std::invalid_argument).
+    graph_waypoint(double side, std::shared_ptr<const geom::street_graph> graph);
+
+    [[nodiscard]] trip_state stationary_state(rng::rng& gen) const override;
+    void begin_trip(trip_state& s, rng::rng& gen) const override;
+    void advance_leg(trip_state& s) const override;
+    [[nodiscard]] std::string name() const override { return "graph_mrwp"; }
+
+    [[nodiscard]] const geom::street_graph& graph() const noexcept { return *graph_; }
+
+ private:
+    /// Point the trip fields at the hop from node \p from towards node
+    /// \p dest: waypoint = next hop's position, leg = 1 iff that hop ends
+    /// the route.
+    void aim(trip_state& s, std::uint32_t from, std::uint32_t dest) const;
+
+    std::shared_ptr<const geom::street_graph> graph_;
+};
+
+}  // namespace manhattan::mobility

@@ -45,9 +45,9 @@ advance_events advance_core(const mobility_model& model, trip_state& s, double& 
         budget -= remaining;
         s.pos = s.waypoint;
         if (s.leg == 0) {
-            // Turn point reached; final leg begins.
-            s.leg = 1;
-            s.waypoint = s.dest;
+            // Waypoint reached; the model sets the next leg (the default
+            // advance_leg is the historical "turn and head to dest").
+            model.advance_leg(s);
             ++events.turns;
         } else {
             // Destination reached; draw the next trip.

@@ -36,6 +36,20 @@ class mobility_model {
     /// Whether stationary_state() samples the *exact* stationary law.
     [[nodiscard]] virtual bool exact_stationary_sampler() const noexcept { return true; }
 
+    /// Called by the advance kinematics when an agent reaches its leg-0
+    /// waypoint: set the next leg. The default is the historical two-leg
+    /// contract (turn and head straight to dest — the exact statements the
+    /// kinematics used to inline, so pre-existing models are bit-identical).
+    /// Graph-native models override it to set the next hop along the routed
+    /// trip, keeping leg = 0 until the hop adjacent to dest. Must be
+    /// deterministic and RNG-free: it runs inside the parallel lane kernel,
+    /// and the two-phase RNG handoff relies on the kinematics never touching
+    /// the generator (docs/PERF.md, docs/TOPOLOGY.md).
+    virtual void advance_leg(trip_state& s) const {
+        s.leg = 1;
+        s.waypoint = s.dest;
+    }
+
     [[nodiscard]] virtual std::string name() const = 0;
 
  protected:

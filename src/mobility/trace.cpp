@@ -66,6 +66,69 @@ double trajectory_recorder::path_length(std::size_t agent) const {
     return total;
 }
 
+trace_replay::trace_replay(double side,
+                           std::shared_ptr<const std::vector<geom::vec2>> waypoints)
+    : mobility_model(side), waypoints_(std::move(waypoints)) {
+    if (waypoints_ == nullptr || waypoints_->size() < 2) {
+        throw std::invalid_argument("trace_replay: need at least two waypoints");
+    }
+    const auto& pts = *waypoints_;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (!(pts[i].x >= 0.0 && pts[i].x <= side && pts[i].y >= 0.0 && pts[i].y <= side)) {
+            throw std::invalid_argument("trace_replay: waypoint outside the square");
+        }
+        for (std::size_t j = i + 1; j < pts.size(); ++j) {
+            if (pts[i].x == pts[j].x && pts[i].y == pts[j].y) {
+                throw std::invalid_argument("trace_replay: waypoints must be distinct");
+            }
+        }
+    }
+    cumulative_.reserve(pts.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        total += geom::dist(pts[i], pts[(i + 1) % pts.size()]);
+        cumulative_.push_back(total);
+    }
+}
+
+void trace_replay::begin_trip(trip_state& s, rng::rng& gen) const {
+    const auto& pts = *waypoints_;
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+        if (s.pos.x == pts[k].x && s.pos.y == pts[k].y) {
+            // On the tour: head to the next vertex. No randomness consumed.
+            s.dest = pts[(k + 1) % pts.size()];
+            s.waypoint = s.dest;
+            s.leg = 1;
+            return;
+        }
+    }
+    // Off the tour (uniform fresh start): beeline to a uniformly drawn vertex.
+    s.dest = pts[gen.uniform_index(pts.size())];
+    s.waypoint = s.dest;
+    s.leg = 1;
+}
+
+trip_state trace_replay::stationary_state(rng::rng& gen) const {
+    const auto& pts = *waypoints_;
+    // Uniform arc-length position along the tour = length-biased edge plus a
+    // uniform point along it, read off the cumulative-length table.
+    const double u = gen.uniform01() * cumulative_.back();
+    std::size_t k = 0;
+    while (k + 1 < pts.size() && u >= cumulative_[k]) {
+        ++k;
+    }
+    const geom::vec2 a = pts[k];
+    const geom::vec2 b = pts[(k + 1) % pts.size()];
+    const double lo = k == 0 ? 0.0 : cumulative_[k - 1];
+    const double len = geom::dist(a, b);
+    trip_state s;
+    s.dest = b;
+    s.waypoint = b;
+    s.leg = 1;
+    s.pos = len > 0.0 ? a + (b - a) * ((u - lo) / len) : a;
+    return s;
+}
+
 double longest_inward_run(std::span<const geom::vec2> path, double side) {
     if (path.size() < 2) {
         return 0.0;

@@ -1,16 +1,21 @@
 /// \file trace.h
-/// Trajectory recording: dense per-step position history of a walker
-/// population. Used by the temporal-reachability oracle (an independent
-/// re-derivation of flooding times), by the Lemma 14 "good segment" harness,
-/// and for CSV export of agent paths.
+/// Trajectory recording and replay: dense per-step position history of a
+/// walker population, plus the trace_replay mobility model that drives
+/// agents along a recorded polyline. Recording is used by the
+/// temporal-reachability oracle (an independent re-derivation of flooding
+/// times), by the Lemma 14 "good segment" harness, and for CSV export of
+/// agent paths; replay is registered in the mobility factory (model kind
+/// "trace") behind topology-aware validation — see factory.h.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "geom/vec2.h"
+#include "mobility/model.h"
 #include "mobility/walker.h"
 
 namespace manhattan::mobility {
@@ -53,6 +58,36 @@ class trajectory_recorder {
     std::size_t agent_count_;
     bool frames_ = false;
     std::vector<geom::vec2> buffer_;  // frame-major
+};
+
+/// Deterministic replay of a recorded tour: agents traverse the closed
+/// polyline waypoints[0] -> waypoints[1] -> ... -> waypoints[n-1] ->
+/// waypoints[0] forever at constant speed.
+///
+/// In steady state begin_trip() consumes *zero* randomness — the agent is
+/// bitwise on a polyline vertex (the kinematics assigns pos = waypoint
+/// exactly on arrival) and the next vertex is determined. Only an
+/// off-polyline fresh start draws one uniform vertex to beeline to. The
+/// stationary sampler is exact: constant-speed loop traversal is uniform by
+/// arc length, so it draws a length-biased edge and a uniform point along it.
+class trace_replay final : public mobility_model {
+ public:
+    /// \p waypoints must hold >= 2 pairwise-distinct points inside
+    /// [0, side]^2 (pairwise distinctness keeps the vertex-match continuation
+    /// unambiguous). Throws std::invalid_argument otherwise.
+    trace_replay(double side, std::shared_ptr<const std::vector<geom::vec2>> waypoints);
+
+    [[nodiscard]] trip_state stationary_state(rng::rng& gen) const override;
+    void begin_trip(trip_state& s, rng::rng& gen) const override;
+    [[nodiscard]] std::string name() const override { return "trace_replay"; }
+
+    [[nodiscard]] const std::vector<geom::vec2>& waypoints() const noexcept {
+        return *waypoints_;
+    }
+
+ private:
+    std::shared_ptr<const std::vector<geom::vec2>> waypoints_;
+    std::vector<double> cumulative_;  ///< cumulative edge lengths; back() = tour length
 };
 
 /// The longest axis-aligned displacement towards the Central Zone performed

@@ -666,6 +666,74 @@ double f64_field(const json_value& obj, const std::string& key) {
 
 // ------------------------------------------------------------------ codecs --
 
+namespace {
+
+json_value encode_edge_list(const std::vector<geom::edge_ref>& list) {
+    json_value arr = json_value::array();
+    arr.items.reserve(list.size());
+    for (const geom::edge_ref& e : list) {
+        json_value quad = json_value::array();
+        quad.items.push_back(json_value::integer(static_cast<std::uint64_t>(e.ax)));
+        quad.items.push_back(json_value::integer(static_cast<std::uint64_t>(e.ay)));
+        quad.items.push_back(json_value::integer(static_cast<std::uint64_t>(e.bx)));
+        quad.items.push_back(json_value::integer(static_cast<std::uint64_t>(e.by)));
+        arr.items.push_back(std::move(quad));
+    }
+    return arr;
+}
+
+std::vector<geom::edge_ref> decode_edge_list(const json_value& obj, const std::string& key) {
+    const json_value& arr = require(obj, key);
+    if (arr.what != json_value::kind::array) {
+        bad("field '" + key + "' is not an array");
+    }
+    std::vector<geom::edge_ref> list;
+    list.reserve(arr.items.size());
+    for (const json_value& quad : arr.items) {
+        if (quad.what != json_value::kind::array || quad.items.size() != 4) {
+            bad("field '" + key + "' holds a malformed edge (need [ax,ay,bx,by])");
+        }
+        geom::edge_ref e;
+        std::int32_t* const slots[4] = {&e.ax, &e.ay, &e.bx, &e.by};
+        for (std::size_t i = 0; i < 4; ++i) {
+            if (quad.items[i].what != json_value::kind::integer) {
+                bad("field '" + key + "' holds a non-integer edge index");
+            }
+            *slots[i] = static_cast<std::int32_t>(quad.items[i].whole);
+        }
+        list.push_back(e);
+    }
+    return list;
+}
+
+json_value encode_topology(const geom::topology_spec& topology) {
+    json_value v = json_value::object();
+    v.set("kind", json_value::string("street_graph"));
+    v.set("xs", encode_f64_array(topology.street.xs));
+    v.set("ys", encode_f64_array(topology.street.ys));
+    v.set("blocked", encode_edge_list(topology.street.blocked));
+    v.set("one_way", encode_edge_list(topology.street.one_way));
+    return v;
+}
+
+geom::topology_spec decode_topology(const json_value& v) {
+    const std::string kind = str_field(v, "kind");
+    if (kind == "manhattan_grid") {
+        return geom::topology_spec::manhattan();
+    }
+    if (kind != "street_graph") {
+        bad("unknown topology kind '" + kind + "'");
+    }
+    geom::street_graph_spec street;
+    street.xs = decode_f64_array(v, "xs");
+    street.ys = decode_f64_array(v, "ys");
+    street.blocked = decode_edge_list(v, "blocked");
+    street.one_way = decode_edge_list(v, "one_way");
+    return geom::topology_spec::streets(std::move(street));
+}
+
+}  // namespace
+
 json_value encode_scenario(const core::scenario& sc) {
     json_value v = json_value::object();
     v.set("n", json_value::integer(sc.params.n));
@@ -684,6 +752,22 @@ json_value encode_scenario(const core::scenario& sc) {
     v.set("max_steps", json_value::integer(sc.max_steps));
     v.set("record_timeline", json_value::boolean(sc.record_timeline));
     v.set("with_cell_partition", json_value::boolean(sc.with_cell_partition));
+    // Optional members, omitted when they carry no data: a pure-grid
+    // non-trace scenario encodes byte-for-byte as it did before topologies
+    // existed, and older decoders (which ignore unknown members anyway)
+    // never see them.
+    if (!sc.topology.is_grid()) {
+        v.set("topology", encode_topology(sc.topology));
+    }
+    if (sc.model == mobility::model_kind::trace_replay && sc.model_opts.trace != nullptr) {
+        json_value tour = json_value::array();
+        tour.items.reserve(sc.model_opts.trace->size() * 2);
+        for (const geom::vec2& p : *sc.model_opts.trace) {
+            tour.items.push_back(encode_f64(p.x));
+            tour.items.push_back(encode_f64(p.y));
+        }
+        v.set("trace", std::move(tour));
+    }
     json_value stop = json_value::object();
     stop.set("how",
              json_value::string(to_name(stop_kind_names, sc.spread.stop.how, "stop kind")));
@@ -727,6 +811,22 @@ core::scenario decode_scenario(const json_value& v) {
     sc.max_steps = u64_field(v, "max_steps");
     sc.record_timeline = bool_field(v, "record_timeline");
     sc.with_cell_partition = bool_field(v, "with_cell_partition");
+    if (v.find("topology") != nullptr) {
+        sc.topology = decode_topology(require(v, "topology"));
+    }
+    if (const json_value* tour = v.find("trace")) {
+        if (tour->what != json_value::kind::array || tour->items.size() % 2 != 0 ||
+            tour->items.size() < 4) {
+            bad("field 'trace' is not a flat [x,y,...] array of >= 2 points");
+        }
+        std::vector<geom::vec2> points(tour->items.size() / 2);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            points[i].x = decode_f64(tour->items[2 * i], "trace");
+            points[i].y = decode_f64(tour->items[2 * i + 1], "trace");
+        }
+        sc.model_opts.trace =
+            std::make_shared<const std::vector<geom::vec2>>(std::move(points));
+    }
     const json_value& stop = require(v, "stop");
     sc.spread.stop.how = from_name(stop_kind_names, str_field(stop, "how"), "stop kind");
     sc.spread.stop.fraction = f64_field(stop, "fraction");
@@ -794,7 +894,19 @@ json_value encode_sweep_spec(const engine::sweep_spec& spec) {
     if (!spec.num_messages.empty()) {
         axes.set("num_messages", encode_u64_array(spec.num_messages));
     }
+    if (!spec.block_ratio.empty()) {
+        axes.set("block_ratio", encode_f64_array(spec.block_ratio));
+    }
+    if (!spec.blocked_fraction.empty()) {
+        axes.set("blocked_fraction", encode_f64_array(spec.blocked_fraction));
+    }
     v.set("axes", std::move(axes));
+    // street_blocks only matters to the topology axes; emitting it only
+    // beside them keeps every pre-existing spec byte-identical.
+    if (!spec.block_ratio.empty() || !spec.blocked_fraction.empty()) {
+        v.set("street_blocks",
+              json_value::integer(static_cast<std::uint64_t>(spec.street_blocks)));
+    }
     return v;
 }
 
@@ -846,6 +958,15 @@ engine::sweep_spec decode_sweep_spec(const json_value& v) {
     }
     if (axes.find("num_messages") != nullptr) {
         spec.num_messages = decode_u64_array(axes, "num_messages");
+    }
+    if (axes.find("block_ratio") != nullptr) {
+        spec.block_ratio = decode_f64_array(axes, "block_ratio");
+    }
+    if (axes.find("blocked_fraction") != nullptr) {
+        spec.blocked_fraction = decode_f64_array(axes, "blocked_fraction");
+    }
+    if (v.find("street_blocks") != nullptr) {
+        spec.street_blocks = static_cast<std::int32_t>(u64_field(v, "street_blocks"));
     }
     return spec;
 }

@@ -9,15 +9,19 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "engine/manifest.h"
+#include "geom/street_graph.h"
 #include "service/wire.h"
 
 namespace {
 
 namespace core = manhattan::core;
 namespace engine = manhattan::engine;
+namespace geom = manhattan::geom;
 namespace mobility = manhattan::mobility;
 namespace service = manhattan::service;
 
@@ -177,6 +181,16 @@ core::scenario rich_scenario() {
 }
 
 void expect_same_scenario(const core::scenario& a, const core::scenario& b) {
+    EXPECT_EQ(a.topology, b.topology);
+    if (a.model_opts.trace == nullptr || b.model_opts.trace == nullptr) {
+        EXPECT_EQ(a.model_opts.trace == nullptr, b.model_opts.trace == nullptr);
+    } else {
+        ASSERT_EQ(a.model_opts.trace->size(), b.model_opts.trace->size());
+        for (std::size_t i = 0; i < a.model_opts.trace->size(); ++i) {
+            EXPECT_EQ(bits((*a.model_opts.trace)[i].x), bits((*b.model_opts.trace)[i].x));
+            EXPECT_EQ(bits((*a.model_opts.trace)[i].y), bits((*b.model_opts.trace)[i].y));
+        }
+    }
     EXPECT_EQ(a.params.n, b.params.n);
     EXPECT_EQ(bits(a.params.side), bits(b.params.side));
     EXPECT_EQ(bits(a.params.radius), bits(b.params.radius));
@@ -292,6 +306,103 @@ TEST(Wire, SweepSpecEmptyAxesStayEmpty) {
     EXPECT_TRUE(back.c1.empty());
     EXPECT_TRUE(back.model.empty());
     EXPECT_TRUE(back.num_messages.empty());
+}
+
+// ------------------------------------------------------- topology codecs --
+
+core::scenario street_scenario() {
+    core::scenario sc;
+    sc.params = {800, 30.0, 7.0, 1.0};
+    sc.model = mobility::model_kind::mrwp;
+    sc.seed = 99;
+    geom::street_graph_spec plan = geom::street_graph_spec::graded(30.0, 5, 1.5);
+    plan.blocked.push_back({1, 1, 2, 1});
+    plan.one_way.push_back({0, 0, 0, 1});
+    sc.topology = geom::topology_spec::streets(std::move(plan));
+    return sc;
+}
+
+TEST(Wire, ScenarioStreetTopologyRoundTripsExactly) {
+    const core::scenario sc = street_scenario();
+    const std::string text = service::dump(service::encode_scenario(sc));
+    const core::scenario back = service::decode_scenario(service::parse_json(text));
+    expect_same_scenario(sc, back);
+    EXPECT_EQ(back.topology.kind, geom::topology_kind::street_graph);
+    EXPECT_EQ(back.topology.street.blocked.size(), 1u);
+    EXPECT_EQ(back.topology.street.one_way.size(), 1u);
+}
+
+TEST(Wire, ScenarioTraceTourRoundTripsExactly) {
+    core::scenario sc = rich_scenario();
+    sc.model = mobility::model_kind::trace_replay;
+    sc.model_opts.trace = std::make_shared<const std::vector<manhattan::geom::vec2>>(
+        std::vector<manhattan::geom::vec2>{{1.0, 2.0}, {5.5, 2.0}, {5.5, 9.25}});
+    const core::scenario back =
+        service::decode_scenario(service::parse_json(service::dump(service::encode_scenario(sc))));
+    expect_same_scenario(sc, back);
+}
+
+TEST(Wire, PureGridScenarioOmitsTopologyMember) {
+    // The byte-compat contract: a pure-grid non-trace scenario encodes
+    // exactly as before the topology API existed.
+    const std::string text = service::dump(service::encode_scenario(rich_scenario()));
+    EXPECT_EQ(text.find("topology"), std::string::npos);
+    EXPECT_EQ(text.find("\"trace\""), std::string::npos);
+    const core::scenario back = service::decode_scenario(service::parse_json(text));
+    EXPECT_TRUE(back.topology.is_grid());
+    EXPECT_EQ(back.model_opts.trace, nullptr);
+}
+
+TEST(Wire, TopologyRejectsUnknownKindAndMalformedEdges) {
+    json_value v = service::encode_scenario(street_scenario());
+    for (auto& [key, member] : v.members) {
+        if (key == "topology") {
+            for (auto& [tkey, tmember] : member.members) {
+                if (tkey == "kind") {
+                    tmember = json_value::string("hyperbolic");
+                }
+            }
+        }
+    }
+    EXPECT_THROW((void)service::decode_scenario(v), service::wire_error);
+
+    json_value w = service::encode_scenario(street_scenario());
+    for (auto& [key, member] : w.members) {
+        if (key == "topology") {
+            for (auto& [tkey, tmember] : member.members) {
+                if (tkey == "blocked") {
+                    tmember.items.front().items.pop_back();  // 3-element edge
+                }
+            }
+        }
+    }
+    EXPECT_THROW((void)service::decode_scenario(w), service::wire_error);
+}
+
+TEST(Wire, SweepSpecTopologyAxesRoundTrip) {
+    engine::sweep_spec spec;
+    spec.base = rich_scenario();
+    spec.base.model = mobility::model_kind::mrwp;
+    spec.block_ratio = {1.0, 1.5};
+    spec.blocked_fraction = {0.0, 0.125};
+    spec.street_blocks = 5;
+    const engine::sweep_spec back =
+        service::decode_sweep_spec(service::encode_sweep_spec(spec));
+    EXPECT_EQ(back.block_ratio, spec.block_ratio);
+    EXPECT_EQ(back.blocked_fraction, spec.blocked_fraction);
+    EXPECT_EQ(back.street_blocks, 5);
+
+    // Absent axes decode to the defaults, and a pure-grid spec's encoding
+    // contains neither the axes nor street_blocks.
+    engine::sweep_spec plain;
+    plain.base = rich_scenario();
+    const std::string text = service::dump(service::encode_sweep_spec(plain));
+    EXPECT_EQ(text.find("block"), std::string::npos);
+    const engine::sweep_spec plain_back =
+        service::decode_sweep_spec(service::parse_json(text));
+    EXPECT_TRUE(plain_back.block_ratio.empty());
+    EXPECT_TRUE(plain_back.blocked_fraction.empty());
+    EXPECT_EQ(plain_back.street_blocks, 8);
 }
 
 TEST(Wire, SweepSpecPreservesFingerprint) {
